@@ -1,0 +1,60 @@
+//! `gb-microbench` — runs the configuration microbenchmarks on the real
+//! OS and publishes the results in the shared parameter repository
+//! (paper Section 5: "each microbenchmark then only needs to be run
+//! once").
+//!
+//! ```text
+//! gb-microbench [repo-file] [scratch-mb]
+//! ```
+//!
+//! Defaults: `./graybox-params.repo`, 64 MB of scratch. Run on an idle
+//! machine; the scratch file should exceed your page cache for honest
+//! miss numbers (pass a larger size if it does not).
+
+use std::process::ExitCode;
+
+use graybox::microbench::Microbench;
+use gray_toolbox::ParamRepository;
+use hostos::HostOs;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let repo_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "graybox-params.repo".to_string());
+    let scratch_mb: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+
+    let os = match HostOs::new(std::env::current_dir().expect("cwd")) {
+        Ok(os) => os,
+        Err(e) => {
+            eprintln!("gb-microbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut repo = match ParamRepository::load(&repo_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gb-microbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("measuring page costs and disk profile ({scratch_mb} MB scratch)...");
+    let mb = Microbench::new(&os);
+    if let Err(e) = mb.run_all("/", scratch_mb << 20, &mut repo) {
+        eprintln!("gb-microbench: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = repo.save() {
+        eprintln!("gb-microbench: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("# written to {repo_path}");
+    for (k, v) in repo.iter() {
+        println!("{k} = {v}");
+    }
+    ExitCode::SUCCESS
+}

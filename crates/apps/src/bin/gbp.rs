@@ -1,0 +1,104 @@
+//! `gbp` — the paper's command-line utility, on the real OS.
+//!
+//! Lets *unmodified* applications benefit from gray-box knowledge:
+//!
+//! ```text
+//! grep foo $(gbp -mem *.log)        # scan cached files first
+//! tar cf - $(gbp -file src/*)      # read in on-disk order
+//! gbp -mem -out big.dat | wc -c    # intra-file reordering via a pipe
+//! ```
+//!
+//! Modes: `-mem` (FCCD cache order), `-file` (FLDC i-number order),
+//! `-compose` (cached first, i-number within groups), `-mtime` (LFS-style
+//! write-time order). With `-out` and exactly one file, streams the
+//! file's bytes to stdout in predicted-fastest order instead of printing
+//! names. Paths are interpreted relative to the current directory.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use gray_apps::gbp::{Gbp, GbpMode};
+use graybox::fccd::FccdParams;
+use graybox::fldc::Fldc;
+use hostos::HostOs;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: gbp [-mem|-file|-compose|-mtime] [-out] <files...>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = None;
+    let mut out = false;
+    let mut files = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "-mem" => mode = Some(GbpMode::Mem),
+            "-file" => mode = Some(GbpMode::File),
+            "-compose" => mode = Some(GbpMode::Compose),
+            "-mtime" => mode = None, // handled specially below
+            "-out" => out = true,
+            _ if a.starts_with('-') => return usage(),
+            _ => files.push(a.clone()),
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+    let mtime_mode = args.iter().any(|a| a == "-mtime");
+    let os = match HostOs::new(std::env::current_dir().expect("cwd")) {
+        Ok(os) => os,
+        Err(e) => {
+            eprintln!("gbp: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Host paths are confined under the cwd root; present them as
+    // absolute gray-box paths.
+    let gb_paths: Vec<String> = files.iter().map(|f| format!("/{f}")).collect();
+
+    // Real-OS probing wants real timing behavior: keep the paper's default
+    // unit sizes, and do not charge modelled CPU.
+    let params = FccdParams::default();
+    let mut gbp = Gbp::new(&os, params.clone());
+    gbp.model_cpu = false;
+
+    if out {
+        if gb_paths.len() != 1 {
+            eprintln!("gbp: -out takes exactly one file");
+            return ExitCode::from(2);
+        }
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        match gbp.stream_file(&gb_paths[0], |_off, bytes| {
+            let _ = lock.write_all(bytes);
+        }) {
+            Ok(_) => return ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("gbp: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let ordered = if mtime_mode {
+        let (ranks, _missing) = Fldc::new(&os).order_by_mtime(&gb_paths);
+        Ok(ranks.into_iter().map(|r| r.path).collect::<Vec<_>>())
+    } else {
+        gbp.order_files(&gb_paths, mode.unwrap_or(GbpMode::Mem))
+    };
+    match ordered {
+        Ok(list) => {
+            for p in list {
+                // Strip the synthetic leading slash back off.
+                println!("{}", p.trim_start_matches('/'));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gbp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

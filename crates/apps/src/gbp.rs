@@ -1,0 +1,314 @@
+//! `gbp` — the command-line utility that gives *unmodified* applications
+//! gray-box benefits (paper Section 4.1.2).
+//!
+//! Two usage patterns from the paper:
+//!
+//! - ``grep foo `gbp -mem *` `` — gbp prints the file list in predicted
+//!   best order; the unmodified application consumes it. Costs an extra
+//!   fork/exec plus redundant opens (gbp probes, then the app re-opens).
+//! - ``gbp -mem -out infile | app -`` — gbp probes a single file, reads
+//!   its data blocks in best probe order, and streams them to stdout, so
+//!   an unmodified filter gets intra-file reordering at the price of one
+//!   extra copy of all data through the pipe.
+//!
+//! The pipe copy and fork/exec are modelled as explicit CPU charges (they
+//! are pure memory/CPU costs), while all file I/O is real against the
+//! backend.
+
+use graybox::compose::ComposedOrderer;
+use graybox::fccd::{Fccd, FccdParams};
+use graybox::fldc::Fldc;
+use graybox::os::{GrayBoxOs, OsResult};
+use gray_toolbox::GrayDuration;
+
+/// Which ordering gbp applies (its command-line flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GbpMode {
+    /// `-mem`: order by predicted cache residency (FCCD).
+    Mem,
+    /// `-file`: order by predicted disk layout (FLDC i-numbers).
+    File,
+    /// `-compose`: cached files first, i-number order within groups.
+    Compose,
+}
+
+/// The gbp utility.
+pub struct Gbp<'a, O: GrayBoxOs> {
+    os: &'a O,
+    fccd_params: FccdParams,
+    /// Modelled cost of fork+exec of the utility.
+    pub fork_exec_cost: GrayDuration,
+    /// Modelled pipe copy bandwidth (extra copy through the kernel).
+    pub pipe_bandwidth: u64,
+    /// Whether to charge the modelled costs.
+    pub model_cpu: bool,
+}
+
+impl<'a, O: GrayBoxOs> Gbp<'a, O> {
+    /// Creates the utility with the paper-era cost model.
+    pub fn new(os: &'a O, fccd_params: FccdParams) -> Self {
+        Gbp {
+            os,
+            fccd_params,
+            fork_exec_cost: GrayDuration::from_millis(3),
+            pipe_bandwidth: 200 << 20,
+            model_cpu: true,
+        }
+    }
+
+    /// `gbp [mode] <files…>`: returns the file list in predicted best
+    /// order, charging the fork/exec overhead of running the utility.
+    pub fn order_files(&self, paths: &[String], mode: GbpMode) -> OsResult<Vec<String>> {
+        if self.model_cpu {
+            self.os.compute(self.fork_exec_cost);
+        }
+        match mode {
+            GbpMode::Mem => {
+                let fccd = Fccd::new(self.os, self.fccd_params.clone());
+                Ok(fccd
+                    .order_files(paths)
+                    .into_iter()
+                    .map(|r| r.path)
+                    .collect())
+            }
+            GbpMode::File => {
+                let fldc = Fldc::new(self.os);
+                let (ranks, _) = fldc.order_by_inumber(paths);
+                let mut out: Vec<String> = ranks.into_iter().map(|r| r.path).collect();
+                for p in paths {
+                    if !out.contains(p) {
+                        out.push(p.clone());
+                    }
+                }
+                Ok(out)
+            }
+            GbpMode::Compose => {
+                let fccd = Fccd::new(self.os, self.fccd_params.clone());
+                let fldc = Fldc::new(self.os);
+                Ok(ComposedOrderer::new(&fccd, &fldc)
+                    .order_files(paths)?
+                    .into_iter()
+                    .map(|r| r.path)
+                    .collect())
+            }
+        }
+    }
+
+    /// `gbp -mem -out <file>`: probes the file, then streams its access
+    /// units to `consume` in best probe order. Returns total bytes
+    /// streamed. The consumer sees the extents (offset, data) so a real
+    /// filter can process them; modelled pipelines pass a no-op.
+    pub fn stream_file(
+        &self,
+        path: &str,
+        mut consume: impl FnMut(u64, &[u8]),
+    ) -> OsResult<u64> {
+        if self.model_cpu {
+            self.os.compute(self.fork_exec_cost);
+        }
+        let fccd = Fccd::new(self.os, self.fccd_params.clone());
+        let fd = self.os.open(path)?;
+        let size = self.os.file_size(fd)?;
+        let plan = fccd.plan_file(fd, size);
+        let mut total = 0u64;
+        let chunk = 1u64 << 20;
+        let mut buf = vec![0u8; chunk as usize];
+        for extent in plan {
+            let mut off = extent.offset;
+            let end = extent.offset + extent.len;
+            while off < end {
+                let want = chunk.min(end - off) as usize;
+                let n = self.os.read_at(fd, off, &mut buf[..want])?;
+                if n == 0 {
+                    break;
+                }
+                // The extra copy through the pipe.
+                if self.model_cpu {
+                    self.os.compute(GrayDuration::from_secs_f64(
+                        n as f64 / self.pipe_bandwidth as f64,
+                    ));
+                }
+                consume(off, &buf[..n]);
+                off += n as u64;
+                total += n as u64;
+            }
+        }
+        self.os.close(fd)?;
+        Ok(total)
+    }
+
+    /// Like [`Gbp::stream_file`] but discards data (modelled pipelines);
+    /// still charges the pipe copy.
+    pub fn stream_file_discard(&self, path: &str) -> OsResult<u64> {
+        if self.model_cpu {
+            self.os.compute(self.fork_exec_cost);
+        }
+        let fccd = Fccd::new(self.os, self.fccd_params.clone());
+        let fd = self.os.open(path)?;
+        let size = self.os.file_size(fd)?;
+        let plan = fccd.plan_file(fd, size);
+        let mut total = 0u64;
+        for extent in plan {
+            let n = self.os.read_discard(fd, extent.offset, extent.len)?;
+            if self.model_cpu {
+                self.os.compute(GrayDuration::from_secs_f64(
+                    n as f64 / self.pipe_bandwidth as f64,
+                ));
+            }
+            total += n;
+        }
+        self.os.close(fd)?;
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::make_files;
+    use graybox::os::GrayBoxOsExt;
+    use simos::{Sim, SimConfig};
+
+    fn small_fccd() -> FccdParams {
+        FccdParams {
+            access_unit: 64 << 10,
+            prediction_unit: 16 << 10,
+            ..FccdParams::default()
+        }
+    }
+
+    #[test]
+    fn mem_mode_puts_cached_files_first() {
+        let mut sim = Sim::new(SimConfig::small().without_noise());
+        let paths = sim.run_one(|os| make_files(os, "/d", 6, 256 << 10).unwrap());
+        sim.flush_file_cache();
+        // Warm file 4.
+        sim.run_one(|os| {
+            let fd = os.open(&paths[4]).unwrap();
+            os.read_discard(fd, 0, 256 << 10).unwrap();
+            os.close(fd).unwrap();
+        });
+        let paths2 = paths.clone();
+        let ordered = sim.run_one(move |os| {
+            Gbp::new(os, small_fccd())
+                .order_files(&paths2, GbpMode::Mem)
+                .unwrap()
+        });
+        assert_eq!(ordered[0], paths[4]);
+        assert_eq!(ordered.len(), 6);
+    }
+
+    #[test]
+    fn file_mode_is_inumber_order() {
+        let mut sim = Sim::new(SimConfig::small().without_noise());
+        sim.run_one(|os| {
+            let paths = make_files(os, "/d", 5, 8192).unwrap();
+            let scrambled = crate::workload::shuffled(&paths, 9);
+            let ordered = Gbp::new(os, small_fccd())
+                .order_files(&scrambled, GbpMode::File)
+                .unwrap();
+            assert_eq!(ordered, paths, "creation order == i-number order");
+        });
+    }
+
+    #[test]
+    fn stream_delivers_every_byte_exactly_once() {
+        let mut sim = Sim::new(SimConfig::small().without_noise());
+        sim.run_one(|os| {
+            let data: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+            os.write_file("/f", &data).unwrap();
+            let gbp = Gbp::new(os, small_fccd());
+            let mut seen = vec![false; data.len()];
+            let mut payload = vec![0u8; data.len()];
+            let total = gbp
+                .stream_file("/f", |off, bytes| {
+                    for (i, &b) in bytes.iter().enumerate() {
+                        let idx = off as usize + i;
+                        assert!(!seen[idx], "byte {idx} delivered twice");
+                        seen[idx] = true;
+                        payload[idx] = b;
+                    }
+                })
+                .unwrap();
+            assert_eq!(total, data.len() as u64);
+            assert!(seen.iter().all(|&s| s));
+            assert_eq!(payload, data);
+        });
+    }
+
+    #[test]
+    fn compose_mode_orders_cached_then_by_inumber() {
+        let mut sim = Sim::new(SimConfig::small().without_noise());
+        let paths = sim.run_one(|os| make_files(os, "/d", 6, 256 << 10).unwrap());
+        sim.flush_file_cache();
+        // Warm files 4 and 1: compose must yield [1, 4, 0, 2, 3, 5].
+        sim.run_one({
+            let warm = vec![paths[4].clone(), paths[1].clone()];
+            move |os| {
+                for p in &warm {
+                    let fd = os.open(p).unwrap();
+                    os.read_discard(fd, 0, 256 << 10).unwrap();
+                    os.close(fd).unwrap();
+                }
+            }
+        });
+        let scrambled = crate::workload::shuffled(&paths, 44);
+        let ordered = sim.run_one(move |os| {
+            Gbp::new(os, small_fccd())
+                .order_files(&scrambled, GbpMode::Compose)
+                .unwrap()
+        });
+        assert_eq!(
+            ordered,
+            vec![
+                paths[1].clone(),
+                paths[4].clone(),
+                paths[0].clone(),
+                paths[2].clone(),
+                paths[3].clone(),
+                paths[5].clone(),
+            ]
+        );
+    }
+
+    #[test]
+    fn stream_discard_covers_whole_file_and_charges_pipe() {
+        let mut sim = Sim::new(SimConfig::small().without_noise());
+        sim.run_one(|os| {
+            use graybox::os::GrayBoxOsExt;
+            os.write_file("/f", &vec![3u8; 300_000]).unwrap();
+            let gbp = Gbp::new(os, small_fccd());
+            let t0 = os.now();
+            let total = gbp.stream_file_discard("/f").unwrap();
+            let t = os.now().since(t0);
+            assert_eq!(total, 300_000);
+            // Fork/exec (3 ms) plus pipe copy must show up in the clock.
+            assert!(t >= gray_toolbox::GrayDuration::from_millis(3));
+        });
+    }
+
+    #[test]
+    fn pipeline_costs_more_than_direct_library_use() {
+        let mut sim = Sim::new(SimConfig::small().without_noise());
+        sim.run_one(|os| make_files(os, "/d", 4, 1 << 20).unwrap());
+        let paths: Vec<String> = (0..4).map(|i| format!("/d/f{i:04}")).collect();
+        // Direct FCCD ordering:
+        let p2 = paths.clone();
+        let direct = sim.run_one(move |os| {
+            let t0 = os.now();
+            let fccd = Fccd::new(os, small_fccd());
+            let _ = fccd.order_files(&p2);
+            os.now().since(t0)
+        });
+        // Via gbp (fork/exec charged):
+        let p3 = paths.clone();
+        let via_gbp = sim.run_one(move |os| {
+            let t0 = os.now();
+            let _ = Gbp::new(os, small_fccd())
+                .order_files(&p3, GbpMode::Mem)
+                .unwrap();
+            os.now().since(t0)
+        });
+        assert!(via_gbp > direct, "gbp {via_gbp} vs direct {direct}");
+    }
+}

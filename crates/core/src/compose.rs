@@ -1,0 +1,172 @@
+//! Composing FCCD and FLDC (paper Section 4.2.4).
+//!
+//! For the best ordering of a set of files, an application should first
+//! access the files that are *in cache* (FCCD) and then access the rest in
+//! their probable *on-disk order* (FLDC). The difficulty is that FCCD does
+//! not natively identify which files are cached — it only ranks them by
+//! probe time — so the composition applies two-means clustering to the
+//! probe times, treats the fast cluster as cached, and sorts **both**
+//! groups by i-number: the predictions may be wrong (e.g. everything is on
+//! disk), and i-number order is a safe fallback either way.
+
+use crate::fccd::Fccd;
+use crate::fldc::Fldc;
+use crate::os::{GrayBoxOs, OsResult};
+use crate::technique::{Technique, TechniqueInventory};
+
+/// One file in a composed ordering, with the evidence that placed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComposedRank {
+    /// The file's path.
+    pub path: String,
+    /// Whether the probe-time clustering predicted this file cached.
+    pub predicted_cached: bool,
+    /// The file's i-number, if it could be stat'ed.
+    pub ino: Option<u64>,
+}
+
+/// The composed FCCD + FLDC file orderer.
+pub struct ComposedOrderer<'a, O: GrayBoxOs> {
+    fccd: &'a Fccd<'a, O>,
+    fldc: &'a Fldc<'a, O>,
+}
+
+impl<'a, O: GrayBoxOs> ComposedOrderer<'a, O> {
+    /// Composes an existing detector pair.
+    pub fn new(fccd: &'a Fccd<'a, O>, fldc: &'a Fldc<'a, O>) -> Self {
+        ComposedOrderer { fccd, fldc }
+    }
+
+    /// Orders `paths` for access: predicted-cached files first, each group
+    /// sorted by `(device, i-number)`.
+    pub fn order_files(&self, paths: &[String]) -> OsResult<Vec<ComposedRank>> {
+        let classified = self.fccd.classify_files(paths);
+        let mut out = Vec::with_capacity(paths.len());
+        for (group, cached) in [(classified.cached, true), (classified.uncached, false)] {
+            let group_paths: Vec<String> = group.into_iter().map(|r| r.path).collect();
+            let (ranked, _missing) = self.fldc.order_by_inumber(&group_paths);
+            let mut seen: std::collections::HashSet<&String> =
+                std::collections::HashSet::new();
+            for rank in &ranked {
+                out.push(ComposedRank {
+                    path: rank.path.clone(),
+                    predicted_cached: cached,
+                    ino: Some(rank.stat.ino),
+                });
+            }
+            let ranked_paths: std::collections::HashSet<String> =
+                ranked.into_iter().map(|r| r.path).collect();
+            // Files that vanished between probe and stat still belong in
+            // the ordering (the open may yet succeed); they go last in the
+            // group with no layout evidence.
+            for path in &group_paths {
+                if !ranked_paths.contains(path) && seen.insert(path) {
+                    out.push(ComposedRank {
+                        path: path.clone(),
+                        predicted_cached: cached,
+                        ino: None,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// How the composed orderer maps onto the technique taxonomy.
+pub fn techniques() -> TechniqueInventory {
+    TechniqueInventory::new(
+        "FCCD+FLDC",
+        &[
+            (
+                Technique::AlgorithmicKnowledge,
+                "LRU cache + FFS layout",
+            ),
+            (Technique::MonitorOutputs, "Probe times + i-numbers"),
+            (Technique::StatisticalMethods, "Two-means clustering"),
+            (Technique::InsertProbes, "Reads and stat()s"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fccd::FccdParams;
+    use crate::mock::MockOs;
+    use crate::os::GrayBoxOsExt;
+
+    fn small_params() -> FccdParams {
+        FccdParams {
+            access_unit: 4 * 4096,
+            prediction_unit: 4096,
+            ..FccdParams::default()
+        }
+    }
+
+    #[test]
+    fn cached_first_then_inumber_order_within_groups() {
+        let os = MockOs::new(1 << 20, 16);
+        // Created (i-number) order: f0, f1, f2, f3.
+        let paths: Vec<String> = (0..4).map(|i| format!("/f{i}")).collect();
+        for p in &paths {
+            os.write_file(p, &vec![0u8; 8 * 4096]).unwrap();
+        }
+        os.flush_cache();
+        // Warm f3 and f1: cached group must come out in i-number order
+        // (f1 before f3) even though probe order found them otherwise.
+        os.warm("/f3", 0..8);
+        os.warm("/f1", 0..8);
+        let fccd = Fccd::new(&os, small_params());
+        let fldc = Fldc::new(&os);
+        let composed = ComposedOrderer::new(&fccd, &fldc);
+        // Present the paths scrambled.
+        let scrambled = vec![
+            "/f2".to_string(),
+            "/f3".to_string(),
+            "/f0".to_string(),
+            "/f1".to_string(),
+        ];
+        let order = composed.order_files(&scrambled).unwrap();
+        let names: Vec<&str> = order.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(names, vec!["/f1", "/f3", "/f0", "/f2"]);
+        assert!(order[0].predicted_cached && order[1].predicted_cached);
+        assert!(!order[2].predicted_cached && !order[3].predicted_cached);
+    }
+
+    #[test]
+    fn all_cold_falls_back_to_pure_inumber_order() {
+        let os = MockOs::new(1 << 20, 16);
+        let paths: Vec<String> = (0..3).map(|i| format!("/f{i}")).collect();
+        for p in &paths {
+            os.write_file(p, &vec![0u8; 8 * 4096]).unwrap();
+        }
+        os.flush_cache();
+        let fccd = Fccd::new(&os, small_params());
+        let fldc = Fldc::new(&os);
+        let composed = ComposedOrderer::new(&fccd, &fldc);
+        let scrambled = vec![
+            "/f2".to_string(),
+            "/f0".to_string(),
+            "/f1".to_string(),
+        ];
+        let order = composed.order_files(&scrambled).unwrap();
+        let names: Vec<&str> = order.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(names, vec!["/f0", "/f1", "/f2"]);
+        assert!(order.iter().all(|r| !r.predicted_cached));
+    }
+
+    #[test]
+    fn vanished_files_keep_a_place_in_the_ordering() {
+        let os = MockOs::new(1 << 20, 16);
+        os.write_file("/real", &vec![0u8; 8 * 4096]).unwrap();
+        let fccd = Fccd::new(&os, small_params());
+        let fldc = Fldc::new(&os);
+        let composed = ComposedOrderer::new(&fccd, &fldc);
+        let order = composed
+            .order_files(&["/real".to_string(), "/ghost".to_string()])
+            .unwrap();
+        assert_eq!(order.len(), 2);
+        assert!(order.iter().any(|r| r.path == "/ghost" && r.ino.is_none()));
+    }
+}

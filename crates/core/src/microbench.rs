@@ -1,0 +1,328 @@
+//! Configuration microbenchmarks (paper Sections 2.1 and 5).
+//!
+//! Gray-box ICLs need performance parameters of the underlying components —
+//! expected disk seek time and bandwidth, the cost of allocating and zeroing
+//! a page, of touching a resident page, of hitting or missing the file
+//! cache — to amortize overheads and to differentiate states. This module
+//! measures those parameters *through the gray-box interface itself* and
+//! publishes them in the shared [`ParamRepository`], so each benchmark only
+//! needs to run once per system.
+//!
+//! Per the paper's caution, these benchmarks "likely require a dedicated
+//! system and may take some time to run": run them on an otherwise idle
+//! machine, and give [`Microbench::disk_profile`] a scratch file larger
+//! than the file cache (otherwise the "miss" numbers are really hits, which
+//! the clustering will reveal as a suspiciously low separation).
+
+use gray_toolbox::repository::keys;
+use gray_toolbox::{two_means, GrayDuration, ParamRepository, Summary};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::os::{GrayBoxOs, OsError, OsResult};
+
+/// Measured memory-page costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageCosts {
+    /// Median time to write-touch a resident page.
+    pub touch: GrayDuration,
+    /// Median time to allocate and zero a fresh page (first touch).
+    pub zero: GrayDuration,
+}
+
+/// Measured disk and file-cache costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskProfile {
+    /// Median time for a random single-page read on a cold file
+    /// (seek + rotation + transfer).
+    pub random_page_read: GrayDuration,
+    /// Sequential read bandwidth, bytes per second.
+    pub sequential_bandwidth: u64,
+    /// Median time to read a page that is resident in the file cache.
+    pub page_hit: GrayDuration,
+}
+
+/// The microbenchmark suite.
+pub struct Microbench<'a, O: GrayBoxOs> {
+    os: &'a O,
+    samples: usize,
+    seed: u64,
+}
+
+impl<'a, O: GrayBoxOs> Microbench<'a, O> {
+    /// Creates a suite taking `samples` observations per measurement.
+    pub fn new(os: &'a O) -> Self {
+        Microbench {
+            os,
+            samples: 64,
+            seed: 0xB16B00B5,
+        }
+    }
+
+    /// Overrides the number of samples per measurement.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        assert!(samples >= 4, "too few samples for a median");
+        self.samples = samples;
+        self
+    }
+
+    /// Measures the cost of touching resident pages and of first-touch
+    /// allocate-and-zero.
+    pub fn page_costs(&self) -> OsResult<PageCosts> {
+        let page = self.os.page_size();
+        let pages = self.samples as u64;
+        let region = self.os.mem_alloc(pages * page)?;
+        let mut zero_times = Vec::with_capacity(pages as usize);
+        for p in 0..pages {
+            let (res, t) = self.os.timed(|os| os.mem_touch_write(region, p));
+            res?;
+            zero_times.push(t.as_nanos() as f64);
+        }
+        let mut touch_times = Vec::new();
+        for round in 0..4 {
+            for p in 0..pages {
+                let (res, t) = self.os.timed(|os| os.mem_touch_write(region, p));
+                res?;
+                if round > 0 {
+                    touch_times.push(t.as_nanos() as f64);
+                }
+            }
+        }
+        self.os.mem_free(region)?;
+        let touch = Summary::new(&touch_times).median().max(1.0);
+        let zero = Summary::new(&zero_times).median().max(touch);
+        Ok(PageCosts {
+            touch: GrayDuration::from_nanos(touch as u64),
+            zero: GrayDuration::from_nanos(zero as u64),
+        })
+    }
+
+    /// Profiles the disk and file cache using `path`, a scratch file this
+    /// call creates with `file_bytes` bytes (ideally exceeding the file
+    /// cache) and deletes afterwards.
+    pub fn disk_profile(&self, path: &str, file_bytes: u64) -> OsResult<DiskProfile> {
+        let page = self.os.page_size();
+        if file_bytes < 4 * page {
+            return Err(OsError::InvalidArgument);
+        }
+        let fd = self.os.create(path)?;
+        let mut off = 0u64;
+        while off < file_bytes {
+            let chunk = (file_bytes - off).min(8 << 20);
+            self.os.write_fill(fd, off, chunk)?;
+            off += chunk;
+        }
+        self.os.sync()?;
+
+        // Sequential bandwidth over the whole file (also evicts the pages
+        // our own writes left cached, when the file exceeds the cache).
+        let t0 = self.os.now();
+        self.os.read_discard(fd, 0, file_bytes)?;
+        let seq = self.os.now().since(t0);
+        let bandwidth = if seq == GrayDuration::ZERO {
+            u64::MAX
+        } else {
+            (file_bytes as f64 / seq.as_secs_f64()) as u64
+        };
+
+        // Random single-page reads; cluster to split hits from misses.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let pages = file_bytes / page;
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let p = rng.random_range(0..pages);
+            let (res, t) = self.os.timed(|os| os.read_byte(fd, p * page));
+            res?;
+            times.push(t.as_nanos() as f64);
+        }
+        // Re-read the same offsets immediately: guaranteed hits.
+        let mut hit_times = Vec::with_capacity(self.samples);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _ in 0..self.samples {
+            let p = rng.random_range(0..pages);
+            let (res, t) = self.os.timed(|os| os.read_byte(fd, p * page));
+            res?;
+            hit_times.push(t.as_nanos() as f64);
+        }
+        self.os.close(fd)?;
+        self.os.unlink(path)?;
+
+        let clustering = two_means(&times);
+        // The slow cluster holds the true misses; if separation is poor the
+        // file fit in cache and the median of everything is our best guess.
+        let miss = if clustering.separation(&times) > 0.5 && clustering.sizes[1] > 0 {
+            let slow: Vec<f64> = clustering
+                .members(1)
+                .into_iter()
+                .map(|i| times[i])
+                .collect();
+            Summary::new(&slow).median()
+        } else {
+            Summary::new(&times).median()
+        };
+        Ok(DiskProfile {
+            random_page_read: GrayDuration::from_nanos(miss as u64),
+            sequential_bandwidth: bandwidth,
+            page_hit: GrayDuration::from_nanos(Summary::new(&hit_times).median() as u64),
+        })
+    }
+
+    /// Finds the smallest access unit delivering at least 90% of peak
+    /// sequential bandwidth when reading from random offsets (the paper's
+    /// method for choosing FCCD's default 20 MB unit). `path` is a scratch
+    /// file created and deleted by this call.
+    pub fn access_unit(&self, path: &str, file_bytes: u64) -> OsResult<u64> {
+        let candidates: Vec<u64> = (0..=7).map(|i| (1u64 << i) << 20).collect(); // 1..128 MB
+        let usable: Vec<u64> = candidates
+            .into_iter()
+            .filter(|&c| c * 4 <= file_bytes)
+            .collect();
+        if usable.is_empty() {
+            return Err(OsError::InvalidArgument);
+        }
+        let fd = self.os.create(path)?;
+        let mut off = 0u64;
+        while off < file_bytes {
+            let chunk = (file_bytes - off).min(8 << 20);
+            self.os.write_fill(fd, off, chunk)?;
+            off += chunk;
+        }
+        self.os.sync()?;
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rates = Vec::with_capacity(usable.len());
+        for &unit in &usable {
+            let trials = 3u64;
+            let mut total = GrayDuration::ZERO;
+            for _ in 0..trials {
+                let max_start = file_bytes - unit;
+                let start = rng.random_range(0..=max_start);
+                let t0 = self.os.now();
+                self.os.read_discard(fd, start, unit)?;
+                total += self.os.now().since(t0);
+            }
+            let secs = total.as_secs_f64();
+            let rate = if secs == 0.0 {
+                f64::INFINITY
+            } else {
+                (unit * trials) as f64 / secs
+            };
+            rates.push(rate);
+        }
+        self.os.close(fd)?;
+        self.os.unlink(path)?;
+
+        let peak = rates.iter().copied().fold(0.0f64, f64::max);
+        let chosen = usable
+            .iter()
+            .zip(&rates)
+            .find(|(_, &r)| r >= 0.9 * peak)
+            .map(|(&u, _)| u)
+            .unwrap_or(*usable.last().expect("non-empty"));
+        Ok(chosen)
+    }
+
+    /// Runs the full suite and publishes results into the repository under
+    /// the well-known keys.
+    pub fn run_all(
+        &self,
+        scratch_dir: &str,
+        file_bytes: u64,
+        repo: &mut ParamRepository,
+    ) -> OsResult<()> {
+        let page_costs = self.page_costs()?;
+        repo.set_duration(keys::PAGE_TOUCH_NS, page_costs.touch);
+        repo.set_duration(keys::PAGE_ALLOC_ZERO_NS, page_costs.zero);
+        repo.set_raw(keys::PAGE_SIZE_BYTES, self.os.page_size());
+
+        let scratch = format!("{}/gb_microbench.tmp", scratch_dir.trim_end_matches('/'));
+        let disk = self.disk_profile(&scratch, file_bytes)?;
+        repo.set_duration(keys::PAGE_UNCACHED_READ_NS, disk.random_page_read);
+        repo.set_duration(keys::PAGE_CACHED_READ_NS, disk.page_hit);
+        repo.set_raw(keys::DISK_BANDWIDTH_BPS, disk.sequential_bandwidth);
+        // Seek is the random-read time minus the transfer of one page.
+        let transfer = GrayDuration::from_secs_f64(
+            self.os.page_size() as f64 / disk.sequential_bandwidth.max(1) as f64,
+        );
+        repo.set_duration(keys::DISK_SEEK_NS, disk.random_page_read.saturating_sub(transfer));
+
+        let unit = self.access_unit(&scratch, file_bytes)?;
+        repo.set_raw(keys::ACCESS_UNIT_BYTES, unit);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::MockOs;
+
+    #[test]
+    fn page_costs_orders_touch_below_zero() {
+        let os = MockOs::new(1 << 20, 1 << 20);
+        let mb = Microbench::new(&os).with_samples(16);
+        let costs = mb.page_costs().unwrap();
+        assert!(costs.touch < costs.zero, "{costs:?}");
+        assert!(costs.touch >= GrayDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn disk_profile_separates_hit_from_miss() {
+        // Cache of 32 pages, file of 256 pages: most random reads miss.
+        let os = MockOs::new(32, 64);
+        let mb = Microbench::new(&os).with_samples(32);
+        let profile = mb.disk_profile("/scratch", 256 * 4096).unwrap();
+        assert!(
+            profile.random_page_read > profile.page_hit * 10,
+            "{profile:?}"
+        );
+        // Scratch file must be gone.
+        assert!(os.stat("/scratch").is_err());
+    }
+
+    #[test]
+    fn disk_profile_rejects_tiny_files() {
+        let os = MockOs::new(32, 64);
+        let mb = Microbench::new(&os);
+        assert!(mb.disk_profile("/s", 4096).is_err());
+    }
+
+    #[test]
+    fn access_unit_picks_a_candidate_within_bounds() {
+        let os = MockOs::new(64, 64);
+        let mb = Microbench::new(&os).with_samples(8);
+        let unit = mb.access_unit("/scratch", 16 << 20).unwrap();
+        // Candidates are powers of two megabytes; the file allows up to
+        // 4 MB (needs 4x headroom).
+        assert!(unit.is_power_of_two());
+        assert!((1 << 20..=4 << 20).contains(&unit), "unit {unit}");
+        assert!(os.stat("/scratch").is_err(), "scratch must be removed");
+    }
+
+    #[test]
+    fn access_unit_rejects_files_too_small_to_sweep() {
+        let os = MockOs::new(64, 64);
+        let mb = Microbench::new(&os);
+        assert!(mb.access_unit("/s", 1 << 20).is_err());
+    }
+
+    #[test]
+    fn run_all_populates_the_repository() {
+        let os = MockOs::new(64, 1 << 20);
+        let mb = Microbench::new(&os).with_samples(16);
+        let mut repo = ParamRepository::in_memory();
+        mb.run_all("/", 8 << 20, &mut repo).unwrap();
+        for key in [
+            keys::PAGE_TOUCH_NS,
+            keys::PAGE_ALLOC_ZERO_NS,
+            keys::PAGE_UNCACHED_READ_NS,
+            keys::PAGE_CACHED_READ_NS,
+            keys::DISK_BANDWIDTH_BPS,
+            keys::DISK_SEEK_NS,
+            keys::ACCESS_UNIT_BYTES,
+            keys::PAGE_SIZE_BYTES,
+        ] {
+            assert!(repo.contains(key), "missing {key}");
+        }
+    }
+}

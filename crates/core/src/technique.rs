@@ -1,0 +1,165 @@
+//! The taxonomy of gray-box techniques (paper Section 2, Tables 1 and 2).
+//!
+//! The paper classifies every gray-box system by which of seven techniques
+//! it uses. Each ICL (and each prior-art case study) exposes a
+//! [`TechniqueInventory`] describing itself in these terms; the reproduction
+//! harness renders those inventories as Tables 1 and 2.
+
+use core::fmt;
+
+/// One of the gray-box techniques identified in Section 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Acquire algorithmic knowledge of the OS (information).
+    AlgorithmicKnowledge,
+    /// Monitor outputs of existing operations (information).
+    MonitorOutputs,
+    /// Use statistical methods on noisy observations (information).
+    StatisticalMethods,
+    /// Use microbenchmarks to parameterize the system (information).
+    Microbenchmarks,
+    /// Insert probes — requests issued solely to observe outputs
+    /// (information).
+    InsertProbes,
+    /// Move the system to a known state (control).
+    KnownState,
+    /// Reinforce behavior via feedback (control).
+    Feedback,
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Technique::AlgorithmicKnowledge => "Knowledge",
+            Technique::MonitorOutputs => "Outputs",
+            Technique::StatisticalMethods => "Statistics",
+            Technique::Microbenchmarks => "Benchmarks",
+            Technique::InsertProbes => "Probes",
+            Technique::KnownState => "Known state",
+            Technique::Feedback => "Feedback",
+        };
+        f.write_str(name)
+    }
+}
+
+impl Technique {
+    /// All techniques in the row order of the paper's Tables 1 and 2.
+    pub const ALL: [Technique; 7] = [
+        Technique::AlgorithmicKnowledge,
+        Technique::MonitorOutputs,
+        Technique::StatisticalMethods,
+        Technique::Microbenchmarks,
+        Technique::InsertProbes,
+        Technique::KnownState,
+        Technique::Feedback,
+    ];
+}
+
+/// How one gray-box system uses the seven techniques.
+///
+/// Each entry is a short free-text description (as in the paper's tables) or
+/// `"None"` when the system does not use that technique.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TechniqueInventory {
+    /// The system's name (column header in the table).
+    pub system: &'static str,
+    /// Per-technique descriptions, in [`Technique::ALL`] order.
+    pub entries: [(&'static str, &'static str); 7],
+}
+
+impl TechniqueInventory {
+    /// Builds an inventory; `rows` supplies descriptions for the techniques
+    /// the system uses, everything else defaults to "None".
+    pub fn new(system: &'static str, rows: &[(Technique, &'static str)]) -> Self {
+        let mut entries: [(&'static str, &'static str); 7] = [
+            ("Knowledge", "None"),
+            ("Outputs", "None"),
+            ("Statistics", "None"),
+            ("Benchmarks", "None"),
+            ("Probes", "None"),
+            ("Known state", "None"),
+            ("Feedback", "None"),
+        ];
+        for (tech, desc) in rows {
+            let idx = Technique::ALL
+                .iter()
+                .position(|t| t == tech)
+                .expect("ALL covers every variant");
+            entries[idx].1 = desc;
+        }
+        TechniqueInventory {
+            system,
+            entries,
+        }
+    }
+
+    /// The description for a particular technique.
+    pub fn get(&self, tech: Technique) -> &'static str {
+        let idx = Technique::ALL
+            .iter()
+            .position(|t| *t == tech)
+            .expect("ALL covers every variant");
+        self.entries[idx].1
+    }
+
+    /// Whether the system uses a technique at all.
+    pub fn uses(&self, tech: Technique) -> bool {
+        self.get(tech) != "None"
+    }
+}
+
+/// Renders a set of inventories as an aligned text table (one column per
+/// system, one row per technique) in the style of the paper's Tables 1–2.
+pub fn render_table(title: &str, inventories: &[TechniqueInventory]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let label_w = 12;
+    let col_w = inventories
+        .iter()
+        .flat_map(|inv| {
+            std::iter::once(inv.system.len())
+                .chain(inv.entries.iter().map(|(_, d)| d.len()))
+        })
+        .max()
+        .unwrap_or(8)
+        .max(8)
+        + 2;
+    out.push_str(&format!("{:label_w$}", ""));
+    for inv in inventories {
+        out.push_str(&format!("{:col_w$}", inv.system));
+    }
+    out.push('\n');
+    for (i, tech) in Technique::ALL.iter().enumerate() {
+        out.push_str(&format!("{:label_w$}", tech.to_string()));
+        for inv in inventories {
+            out.push_str(&format!("{:col_w$}", inv.entries[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_defaults_to_none() {
+        let inv = TechniqueInventory::new("X", &[(Technique::InsertProbes, "reads")]);
+        assert!(inv.uses(Technique::InsertProbes));
+        assert!(!inv.uses(Technique::Feedback));
+        assert_eq!(inv.get(Technique::InsertProbes), "reads");
+        assert_eq!(inv.get(Technique::KnownState), "None");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let inv = TechniqueInventory::new("S", &[(Technique::MonitorOutputs, "time")]);
+        let table = render_table("T", &[inv]);
+        for tech in Technique::ALL {
+            assert!(table.contains(&tech.to_string()), "missing {tech}");
+        }
+        assert!(table.contains("time"));
+    }
+}

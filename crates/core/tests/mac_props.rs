@@ -1,0 +1,95 @@
+//! Property-based tests for the admission controller against the mock OS.
+
+use graybox::mac::{Mac, MacParams};
+use graybox::mock::MockOs;
+use proptest::prelude::*;
+
+const PAGE: u64 = 4096;
+
+fn params() -> MacParams {
+    MacParams {
+        initial_increment: 2 * PAGE,
+        max_increment: 32 * PAGE,
+        calibration_pages: 8,
+        ..MacParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On an otherwise-idle machine of arbitrary size, the estimate lands
+    /// within a sane band of the true capacity and never exceeds it by
+    /// more than one increment.
+    #[test]
+    fn estimate_tracks_capacity(capacity_pages in 48u64..512) {
+        let os = MockOs::new(16, capacity_pages as usize);
+        let mac = Mac::new(&os, params());
+        let est_pages = mac.available_estimate(capacity_pages * 4 * PAGE).unwrap() / PAGE;
+        prop_assert!(
+            est_pages <= capacity_pages,
+            "estimate {est_pages} exceeds capacity {capacity_pages}"
+        );
+        prop_assert!(
+            est_pages * 2 >= capacity_pages,
+            "estimate {est_pages} below half of capacity {capacity_pages}"
+        );
+    }
+
+    /// `gb_alloc` honors its contract for arbitrary (min, max, multiple):
+    /// the result is a multiple in [min', max'] or a clean None — never a
+    /// panic, never a stray allocation left behind.
+    #[test]
+    fn gb_alloc_contract(
+        min_pages in 0u64..64,
+        extra_pages in 0u64..64,
+        multiple_pages in 1u64..8,
+    ) {
+        let os = MockOs::new(16, 128);
+        let mac = Mac::new(&os, params());
+        let min = min_pages * PAGE;
+        let max = (min_pages + extra_pages) * PAGE;
+        let multiple = multiple_pages * PAGE;
+        let before = os.resident_anon_pages();
+        match mac.gb_alloc(min, max, multiple).unwrap() {
+            Some(alloc) => {
+                prop_assert_eq!(alloc.bytes % multiple, 0);
+                prop_assert!(alloc.bytes >= min.max(multiple));
+                prop_assert!(alloc.bytes <= max.max(multiple));
+                mac.gb_free(alloc).unwrap();
+            }
+            None => {}
+        }
+        prop_assert_eq!(
+            os.resident_anon_pages(),
+            before,
+            "no residual allocation may survive"
+        );
+    }
+
+    /// Fair allocation never returns more than the plain allocation would
+    /// and still respects the floor.
+    #[test]
+    fn fair_alloc_is_bounded_by_plain(peers in 1u32..8) {
+        let os = MockOs::new(16, 256);
+        let mac = Mac::new(&os, params());
+        let plain = mac.gb_alloc(PAGE, 256 * PAGE, PAGE).unwrap().unwrap();
+        let plain_bytes = plain.bytes;
+        mac.gb_free(plain).unwrap();
+        let fair = mac
+            .gb_alloc_fair(PAGE, 256 * PAGE, PAGE, peers)
+            .unwrap()
+            .unwrap();
+        prop_assert!(fair.bytes <= plain_bytes + 32 * PAGE);
+        if peers > 1 {
+            prop_assert!(
+                fair.bytes <= plain_bytes / (peers as u64) + 48 * PAGE,
+                "fair share too large: {} of {} for {} peers",
+                fair.bytes,
+                plain_bytes,
+                peers
+            );
+        }
+        mac.gb_free(fair).unwrap();
+    }
+}

@@ -1,0 +1,61 @@
+//! Miniature implementations of the pre-existing gray-box systems the
+//! paper surveys in Section 3 and summarizes in **Table 1**:
+//!
+//! - [`tcp`] — TCP congestion control: infer network congestion from
+//!   acknowledgement timing and packet loss, control the send rate with
+//!   AIMD. Includes the wireless counter-example the paper highlights
+//!   (loss that does *not* mean congestion breaks the gray-box
+//!   assumption).
+//! - [`cosched`] — implicit coscheduling: infer whether a remote
+//!   communication partner is currently scheduled from message round-trip
+//!   times, and hold the CPU (spin) exactly when it pays.
+//! - [`manners`] — MS Manners: infer resource contention from the progress
+//!   rate of a low-importance process (paired-sample sign test against a
+//!   calibrated baseline) and suspend it to yield to important work.
+//!
+//! Plus, from the paper's Section 2.2 control-technique discussion,
+//! [`afs`] — whole-file fetching on AFS turned into a prefetcher by
+//! one-byte reads.
+//!
+//! Each module is a small, deterministic, self-contained simulation that
+//! exposes the same [`graybox::technique::TechniqueInventory`] taxonomy the
+//! case-study ICLs do, so the reproduction harness can regenerate Table 1
+//! with *measured* behavior behind every row.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod afs;
+pub mod cosched;
+pub mod manners;
+pub mod tcp;
+
+/// The three Table 1 inventories, in the paper's column order.
+pub fn table1_inventories() -> Vec<graybox::technique::TechniqueInventory> {
+    vec![
+        tcp::techniques(),
+        cosched::techniques(),
+        manners::techniques(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use graybox::technique::Technique;
+
+    #[test]
+    fn all_table1_systems_monitor_outputs() {
+        for inv in super::table1_inventories() {
+            assert!(
+                inv.uses(Technique::MonitorOutputs),
+                "{} must monitor outputs",
+                inv.system
+            );
+            assert!(
+                inv.uses(Technique::AlgorithmicKnowledge),
+                "{} must encode knowledge",
+                inv.system
+            );
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! MS Manners as a gray-box system (paper Section 3; Douceur & Bolosky,
+//! SOSP'99).
+//!
+//! Goal: run a low-importance process only when the machine is otherwise
+//! idle, without OS support. Gray-box knowledge: *one process competing
+//! with another degrades the other's progress roughly symmetrically to its
+//! own*. So the low-importance process measures its **own** progress rate,
+//! compares it statistically against a calibrated uncontended baseline,
+//! and suspends itself when progress is significantly low — inferring the
+//! presence of important work purely from its own slowdown. While
+//! suspended, it periodically resumes briefly to re-probe.
+//!
+//! The machine model: one CPU, `ticks` discrete steps; an "important"
+//! workload is active on given intervals. When both run, each gets half
+//! the CPU (plus noise); alone, each gets it all. The detector uses the
+//! toolbox's paired-sample sign test, as the original does.
+
+use graybox::technique::{Technique, TechniqueInventory};
+use gray_toolbox::paired_sign_test;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MannersConfig {
+    /// Total ticks simulated.
+    pub ticks: u64,
+    /// Intervals (start, end) when the important workload runs.
+    pub busy: Vec<(u64, u64)>,
+    /// Window of progress samples compared against the baseline.
+    pub window: usize,
+    /// Significance level for the sign test.
+    pub alpha: f64,
+    /// Ticks to stay suspended before re-probing.
+    pub backoff: u64,
+    /// Ticks of the initial calibration run (assumed uncontended).
+    pub calibration: u64,
+    /// Multiplicative progress noise (std-dev fraction).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MannersConfig {
+    fn default() -> Self {
+        MannersConfig {
+            ticks: 10_000,
+            busy: vec![(2_000, 4_000), (6_000, 7_000)],
+            window: 12,
+            alpha: 0.05,
+            backoff: 200,
+            calibration: 200,
+            noise: 0.05,
+            seed: 23,
+        }
+    }
+}
+
+/// Result of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MannersReport {
+    /// Work completed by the low-importance process (ticks of CPU used).
+    pub low_work: f64,
+    /// Fraction of the *busy* time during which the low-importance process
+    /// was running anyway (lower = politer).
+    pub interference: f64,
+    /// Fraction of the *idle* time the low-importance process exploited
+    /// (higher = less wasteful).
+    pub idle_utilization: f64,
+    /// Mean ticks from a busy-interval start until suspension.
+    pub detection_latency: f64,
+    /// Number of suspend events.
+    pub suspensions: u64,
+}
+
+/// Whether the important workload is active at tick `t`.
+fn busy_at(cfg: &MannersConfig, t: u64) -> bool {
+    cfg.busy.iter().any(|&(s, e)| t >= s && t < e)
+}
+
+/// Runs the regulated low-importance process.
+pub fn run(cfg: &MannersConfig) -> MannersReport {
+    assert!(cfg.window >= 4, "window too small for a sign test");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let noise = |rng: &mut StdRng| 1.0 + rng.random_range(-cfg.noise..=cfg.noise);
+
+    // Calibration: measured uncontended progress per tick.
+    let mut baseline: Vec<f64> = Vec::with_capacity(cfg.window);
+    for _ in 0..cfg.calibration {
+        let p = noise(&mut rng);
+        baseline.push(p);
+        if baseline.len() > cfg.window {
+            baseline.remove(0);
+        }
+    }
+
+    let mut low_work = 0.0f64;
+    let mut window: Vec<f64> = Vec::with_capacity(cfg.window);
+    let mut running = true;
+    let mut suspended_until = 0u64;
+    let mut suspensions = 0u64;
+    let mut busy_running_ticks = 0u64;
+    let mut idle_running_ticks = 0u64;
+    let mut busy_ticks = 0u64;
+    let mut idle_ticks = 0u64;
+    let mut detection: Vec<u64> = Vec::new();
+    let mut current_busy_start: Option<u64> = None;
+
+    for t in 0..cfg.ticks {
+        let busy = busy_at(cfg, t);
+        if busy {
+            busy_ticks += 1;
+            // Arm latency measurement only at a true interval start, not
+            // after mid-interval re-probes.
+            if cfg.busy.iter().any(|&(s, _)| s == t) {
+                current_busy_start = Some(t);
+            }
+        } else {
+            idle_ticks += 1;
+            current_busy_start = None;
+        }
+
+        if !running {
+            if t >= suspended_until {
+                running = true; // Re-probe.
+                window.clear();
+            } else {
+                continue;
+            }
+        }
+
+        // Progress this tick: full speed alone, half when contended.
+        let progress = if busy { 0.5 } else { 1.0 } * noise(&mut rng);
+        low_work += progress;
+        if busy {
+            busy_running_ticks += 1;
+        } else {
+            idle_running_ticks += 1;
+        }
+
+        window.push(progress);
+        if window.len() >= cfg.window {
+            let base: Vec<f64> = baseline.iter().copied().take(window.len()).collect();
+            let test = paired_sign_test(&window[..base.len()], &base);
+            // Contention requires both statistical significance (sign
+            // test: baseline systematically above current progress) *and*
+            // a material slowdown — repeated testing of a sliding window
+            // would otherwise compound the alpha into frequent false
+            // positives on an idle machine.
+            let base_mean: f64 = base.iter().sum::<f64>() / base.len() as f64;
+            let win_mean: f64 =
+                window.iter().take(base.len()).sum::<f64>() / base.len() as f64;
+            let material = win_mean < 0.75 * base_mean;
+            if material && test.greater > test.less && test.significant_at(cfg.alpha) {
+                running = false;
+                suspended_until = t + cfg.backoff;
+                suspensions += 1;
+                if let Some(start) = current_busy_start {
+                    detection.push(t - start);
+                    current_busy_start = None;
+                }
+                window.clear();
+            } else {
+                window.remove(0);
+            }
+        }
+    }
+
+    MannersReport {
+        low_work,
+        interference: if busy_ticks == 0 {
+            0.0
+        } else {
+            busy_running_ticks as f64 / busy_ticks as f64
+        },
+        idle_utilization: if idle_ticks == 0 {
+            0.0
+        } else {
+            idle_running_ticks as f64 / idle_ticks as f64
+        },
+        detection_latency: if detection.is_empty() {
+            f64::NAN
+        } else {
+            detection.iter().sum::<u64>() as f64 / detection.len() as f64
+        },
+        suspensions,
+    }
+}
+
+/// Table 1 row for MS Manners.
+pub fn techniques() -> TechniqueInventory {
+    TechniqueInventory::new(
+        "MS Manners",
+        &[
+            (
+                Technique::AlgorithmicKnowledge,
+                "Symmetric performance impact",
+            ),
+            (Technique::MonitorOutputs, "Reported progress of process"),
+            (
+                Technique::StatisticalMethods,
+                "Regression, EWMA, sign test",
+            ),
+            (Technique::KnownState, "None, but slow convergence"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_contention_quickly() {
+        let report = run(&MannersConfig::default());
+        assert!(
+            report.detection_latency < 60.0,
+            "latency {:.0} ticks",
+            report.detection_latency
+        );
+        assert!(report.suspensions >= 2, "suspensions {}", report.suspensions);
+    }
+
+    #[test]
+    fn polite_during_busy_intervals() {
+        let report = run(&MannersConfig::default());
+        assert!(
+            report.interference < 0.25,
+            "ran during {:.0}% of busy time",
+            report.interference * 100.0
+        );
+    }
+
+    #[test]
+    fn exploits_idle_time() {
+        let report = run(&MannersConfig::default());
+        assert!(
+            report.idle_utilization > 0.85,
+            "used only {:.0}% of idle time",
+            report.idle_utilization * 100.0
+        );
+    }
+
+    #[test]
+    fn never_suspends_on_an_idle_machine() {
+        let report = run(&MannersConfig {
+            busy: vec![],
+            ..MannersConfig::default()
+        });
+        assert_eq!(report.suspensions, 0);
+        assert!(report.idle_utilization > 0.99);
+    }
+
+    #[test]
+    fn always_busy_machine_mostly_excludes_low_importance() {
+        let report = run(&MannersConfig {
+            busy: vec![(0, 10_000)],
+            ..MannersConfig::default()
+        });
+        assert!(
+            report.interference < 0.3,
+            "interference {:.2}",
+            report.interference
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let cfg = MannersConfig::default();
+        assert_eq!(run(&cfg), run(&cfg));
+    }
+
+    #[test]
+    fn noisier_progress_still_detected() {
+        let report = run(&MannersConfig {
+            noise: 0.15,
+            ..MannersConfig::default()
+        });
+        assert!(report.suspensions >= 1);
+        assert!(report.interference < 0.5);
+    }
+}

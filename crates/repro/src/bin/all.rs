@@ -1,0 +1,56 @@
+//! Runs every table and figure reproduction in sequence.
+use repro::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("{}", repro::tables::render_table1());
+    println!("{}", repro::tables::render_table2());
+    for (name, f) in [
+        ("fig1", run_fig1 as fn(Scale)),
+        ("fig2", run_fig2),
+        ("fig3", run_fig3),
+        ("fig4", run_fig4),
+        ("fig5", run_fig5),
+        ("fig6", run_fig6),
+        ("fig7", run_fig7),
+        ("sleds", run_sleds),
+    ] {
+        eprintln!(">>> running {name}");
+        f(scale);
+    }
+}
+
+fn run_fig1(scale: Scale) {
+    let fig = repro::fig1::run(scale);
+    println!("fig1: {} series x {} prediction units", fig.cells.len(), fig.prediction_units.len());
+}
+fn run_fig2(scale: Scale) {
+    let fig = repro::fig2::run(scale);
+    println!("fig2: {} sweep points (cache {} MB)", fig.points.len(), fig.cache_bytes >> 20);
+}
+fn run_fig3(scale: Scale) {
+    let fig = repro::fig3::run(scale);
+    let (g, _) = fig.grep.normalized();
+    let (s, _) = fig.fastsort.normalized();
+    println!("fig3: gb-grep {g:.2}x, gb-fastsort {s:.2}x");
+}
+fn run_fig4(scale: Scale) {
+    let fig = repro::fig4::run(scale);
+    println!("fig4: {} platform rows", fig.rows.len());
+}
+fn run_fig5(scale: Scale) {
+    let fig = repro::fig5::run(scale);
+    println!("fig5: {} platform rows", fig.rows.len());
+}
+fn run_fig6(scale: Scale) {
+    let fig = repro::fig6::run(scale);
+    println!("fig6: {} epochs", fig.points.len());
+}
+fn run_fig7(scale: Scale) {
+    let fig = repro::fig7::run(scale);
+    println!("fig7: {} sweep points", fig.points.len());
+}
+fn run_sleds(scale: Scale) {
+    let r = repro::sleds::run(scale);
+    println!("sleds: FCCD captured {:.0}% of the SLED utility", r.utility_captured * 100.0);
+}

@@ -1,0 +1,33 @@
+//! Regenerates Figure 2: single-file scan, linear vs gray-box, with the
+//! worst-case and ideal models.
+use repro::{print_paper_note, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let fig = repro::fig2::run(scale);
+    let rows: Vec<Vec<String>> = fig
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{} MB", p.file_size >> 20),
+                p.linear.to_string(),
+                p.graybox.to_string(),
+                format!("{:8.3}s", p.model_worst),
+                format!("{:8.3}s", p.model_ideal),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Figure 2: Single-File Scan (cache {} MB)",
+            fig.cache_bytes >> 20
+        ),
+        &["file size", "linear", "gray-box", "model worst", "model ideal"],
+        &rows,
+    );
+    print_paper_note(
+        "linear scan falls off a cliff once the file exceeds the cache \
+         (LRU worst case); the gray-box scan tracks the ideal model",
+    );
+}

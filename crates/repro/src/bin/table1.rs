@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (gray-box techniques in existing systems) with
+//! measured evidence from the prior-art mini-simulations.
+fn main() {
+    println!("{}", repro::tables::render_table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (gray-box techniques in the case studies).
+fn main() {
+    println!("{}", repro::tables::render_table2());
+}

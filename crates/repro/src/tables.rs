@@ -1,0 +1,126 @@
+//! Tables 1 and 2: the gray-box technique taxonomies, with measured
+//! evidence behind every Table 1 row.
+
+use graybox::technique::{render_table, TechniqueInventory};
+
+/// Table 1 inventories (TCP, implicit coscheduling, MS Manners).
+pub fn table1() -> Vec<TechniqueInventory> {
+    priorart::table1_inventories()
+}
+
+/// Table 2 inventories (FCCD, FLDC, MAC).
+pub fn table2() -> Vec<TechniqueInventory> {
+    vec![
+        graybox::fccd::techniques(),
+        graybox::fldc::techniques(),
+        graybox::mac::techniques(),
+    ]
+}
+
+/// Renders Table 1 with a measured-evidence appendix from the mini-sims.
+pub fn render_table1() -> String {
+    let mut out = render_table(
+        "Table 1: Gray-Box Techniques used in Existing Systems",
+        &table1(),
+    );
+    out.push_str("\nMeasured evidence (this reproduction):\n");
+
+    let wired = priorart::tcp::run(&priorart::tcp::TcpConfig::default());
+    let wireless = priorart::tcp::run(&priorart::tcp::TcpConfig {
+        wireless_loss: 0.03,
+        ..priorart::tcp::TcpConfig::default()
+    });
+    out.push_str(&format!(
+        "  TCP: wired util {:.0}% fairness {:.2} inference-accuracy {:.0}%; \
+         wireless(3% loss) util {:.0}% accuracy {:.0}% (gray-box rule breaks)\n",
+        wired.utilization * 100.0,
+        wired.fairness,
+        wired.inference_accuracy * 100.0,
+        wireless.utilization * 100.0,
+        wireless.inference_accuracy * 100.0,
+    ));
+
+    let cfg = priorart::cosched::CoschedConfig::default();
+    let block = priorart::cosched::run(&cfg, priorart::cosched::WaitPolicy::BlockImmediately);
+    let spin = priorart::cosched::run(
+        &cfg,
+        priorart::cosched::WaitPolicy::SpinBlock {
+            spin: priorart::cosched::baseline_spin(&cfg),
+        },
+    );
+    out.push_str(&format!(
+        "  Implicit cosched: spin-block {:.0} ticks vs block {:.0} ticks \
+         ({:.1}x), spin hit-rate {:.0}%\n",
+        spin.makespan as f64,
+        block.makespan as f64,
+        block.makespan as f64 / spin.makespan as f64,
+        spin.spin_hits * 100.0,
+    ));
+
+    let manners = priorart::manners::run(&priorart::manners::MannersConfig::default());
+    out.push_str(&format!(
+        "  MS Manners: detection latency {:.0} ticks, interference {:.0}% of \
+         busy time, idle utilization {:.0}%\n",
+        manners.detection_latency,
+        manners.interference * 100.0,
+        manners.idle_utilization * 100.0,
+    ));
+
+    // Bonus: the paper's Section 2.2 AFS control example, quantified.
+    let afs_cfg = priorart::afs::AfsConfig::default();
+    let demand = priorart::afs::run_demand(&afs_cfg);
+    let prefetch = priorart::afs::run_prefetch(&afs_cfg);
+    out.push_str(&format!(
+        "  AFS prefetch (\u{00a7}2.2): demand {:.1}s vs 1-byte-probe prefetch {:.1}s \
+         ({:.0}% of fetch stall hidden)\n",
+        demand.elapsed,
+        prefetch.elapsed,
+        (1.0 - prefetch.stall / demand.stall) * 100.0,
+    ));
+    out
+}
+
+/// Renders Table 2.
+pub fn render_table2() -> String {
+    render_table(
+        "Table 2: Gray-Box Techniques used in Case Studies",
+        &table2(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graybox::technique::Technique;
+
+    #[test]
+    fn table1_has_three_systems_in_paper_order() {
+        let t = table1();
+        let names: Vec<&str> = t.iter().map(|i| i.system).collect();
+        assert_eq!(names, vec!["TCP", "Implicit cosched", "MS Manners"]);
+    }
+
+    #[test]
+    fn table2_matches_paper_claims() {
+        let t = table2();
+        let fccd = &t[0];
+        let fldc = &t[1];
+        let mac = &t[2];
+        // Probing is the case studies' addition over Table 1 systems.
+        assert!(fccd.uses(Technique::InsertProbes));
+        assert!(fldc.uses(Technique::InsertProbes));
+        assert!(mac.uses(Technique::InsertProbes));
+        // FLDC's control is the known-state refresh.
+        assert!(fldc.uses(Technique::KnownState));
+    }
+
+    #[test]
+    fn renders_are_nonempty_and_mention_measured_evidence() {
+        let t1 = render_table1();
+        assert!(t1.contains("inference-accuracy"));
+        assert!(t1.contains("spin hit-rate"));
+        assert!(t1.contains("detection latency"));
+        let t2 = render_table2();
+        assert!(t2.contains("FCCD") && t2.contains("FLDC") && t2.contains("MAC"));
+    }
+}

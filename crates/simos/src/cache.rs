@@ -1,0 +1,682 @@
+//! The page/buffer cache, with three platform personalities.
+//!
+//! Physical memory not reserved for the kernel is a pool of frames shared
+//! by **file pages** (the buffer cache) and **anonymous pages** (process
+//! memory). Three architectures model the paper's platforms:
+//!
+//! - **Unified** (Linux 2.2): one pool, true LRU over file and anon pages
+//!   together. LRU evicts a scanned file in file order ("significantly
+//!   long chunks"), which is the stated premise of sparse probing, and
+//!   gives the
+//!   paper's "LRU worst case" for repeated scans and the shared VM/file
+//!   cache behavior MAC has to cope with.
+//! - **SplitFixed** (NetBSD 1.4/1.5): the file cache is a *fixed-size*
+//!   pool with its own clock; anonymous memory gets all remaining frames.
+//! - **UnifiedSticky** (Solaris 7): unified accounting, but eviction is
+//!   *scan-resistant*: an inserting stream preferentially recycles its own
+//!   most-recently-inserted unreferenced page, so the first-cached portion
+//!   of a file is retained ("once placed in the Solaris file cache, it is
+//!   quite difficult to dislodge") while later scans churn in place.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// What a cached page belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Owner {
+    /// A file page: device (mount) index and i-number.
+    File {
+        /// Mount/device index.
+        dev: u32,
+        /// I-number on that device.
+        ino: u64,
+    },
+    /// An anonymous region page.
+    Anon {
+        /// Globally unique region id.
+        region: u64,
+    },
+}
+
+impl Owner {
+    /// Whether this owner is a file (as opposed to anonymous memory).
+    pub fn is_file(&self) -> bool {
+        matches!(self, Owner::File { .. })
+    }
+}
+
+/// Identity of one cached page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    /// Who the page belongs to.
+    pub owner: Owner,
+    /// Page index within the owner.
+    pub page: u64,
+}
+
+/// A page pushed out of the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted page.
+    pub id: PageId,
+    /// Whether it was dirty (the kernel must write it back).
+    pub dirty: bool,
+}
+
+/// Replacement policy of a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    /// True LRU: a hit moves the page to MRU; eviction takes the oldest.
+    /// Sequential scans therefore evict in file order --- the "long
+    /// chunks" behavior the paper's FCCD relies on.
+    Lru,
+    /// Scan-resistant sticky policy (see module docs).
+    Sticky,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Position in the LRU order (key into `order`).
+    seq: u64,
+    /// Whether the page has been referenced since insertion (used by the
+    /// sticky policy to protect established pages).
+    referenced: bool,
+    dirty: bool,
+}
+
+/// One replacement pool.
+#[derive(Debug)]
+struct Pool {
+    capacity: usize,
+    policy: Policy,
+    /// Prefer evicting (clean or dirty) *file* pages before anonymous
+    /// pages, as real kernels do for streaming file I/O: the page cache is
+    /// reclaimable, process memory much less so. Set for the unified
+    /// architectures; pools that hold only one kind of page don't care.
+    prefer_file_eviction: bool,
+    entries: HashMap<PageId, Entry>,
+    /// LRU order of file pages: ascending seq = least recently used.
+    order_file: BTreeMap<u64, PageId>,
+    /// LRU order of anonymous pages.
+    order_anon: BTreeMap<u64, PageId>,
+    next_seq: u64,
+    /// Sticky policy: per-owner stack of inserted-and-not-yet-referenced
+    /// pages (lazily cleaned).
+    own_stacks: HashMap<Owner, Vec<PageId>>,
+    /// Sticky policy: global insertion order of unreferenced pages.
+    global_stack: Vec<PageId>,
+}
+
+impl Pool {
+    fn new(capacity: usize, policy: Policy, prefer_file_eviction: bool) -> Self {
+        Pool {
+            capacity,
+            policy,
+            prefer_file_eviction,
+            entries: HashMap::new(),
+            order_file: BTreeMap::new(),
+            order_anon: BTreeMap::new(),
+            next_seq: 0,
+            own_stacks: HashMap::new(),
+            global_stack: Vec::new(),
+        }
+    }
+
+    fn order_for<'o>(
+        order_file: &'o mut BTreeMap<u64, PageId>,
+        order_anon: &'o mut BTreeMap<u64, PageId>,
+        owner: Owner,
+    ) -> &'o mut BTreeMap<u64, PageId> {
+        if owner.is_file() {
+            order_file
+        } else {
+            order_anon
+        }
+    }
+
+    fn bump(&mut self, id: PageId) {
+        let Some(e) = self.entries.get_mut(&id) else {
+            return;
+        };
+        let order = Self::order_for(&mut self.order_file, &mut self.order_anon, id.owner);
+        order.remove(&e.seq);
+        e.seq = self.next_seq;
+        self.next_seq += 1;
+        order.insert(e.seq, id);
+    }
+
+    fn lookup_touch(&mut self, id: PageId) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                e.referenced = true;
+                self.bump(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn mark_dirty(&mut self, id: PageId) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                e.dirty = true;
+                e.referenced = true;
+                self.bump(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, id: PageId, dirty: bool) -> Vec<Evicted> {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.dirty |= dirty;
+            e.referenced = true;
+            self.bump(id);
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.entries.len() >= self.capacity.max(1) {
+            match self.evict_one(id.owner) {
+                Some(v) => evicted.push(v),
+                None => break,
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(
+            id,
+            Entry {
+                seq,
+                referenced: false,
+                dirty,
+            },
+        );
+        Self::order_for(&mut self.order_file, &mut self.order_anon, id.owner)
+            .insert(seq, id);
+        if self.policy == Policy::Sticky {
+            self.own_stacks.entry(id.owner).or_default().push(id);
+            self.global_stack.push(id);
+        }
+        evicted
+    }
+
+    fn evict_one(&mut self, inserting_owner: Owner) -> Option<Evicted> {
+        match self.policy {
+            Policy::Lru => self.evict_lru(),
+            Policy::Sticky => self
+                .evict_sticky(inserting_owner)
+                .or_else(|| self.evict_lru()),
+        }
+    }
+
+    /// Evicts the least recently used page, preferring file pages when
+    /// configured (anonymous memory is only reclaimed once the file cache
+    /// is exhausted — the streaming-I/O protection real kernels apply).
+    fn evict_lru(&mut self) -> Option<Evicted> {
+        let from_file = match (
+            self.order_file.iter().next(),
+            self.order_anon.iter().next(),
+        ) {
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+            (Some((&fs, _)), Some((&asq, _))) => self.prefer_file_eviction || fs < asq,
+        };
+        let order = if from_file {
+            &mut self.order_file
+        } else {
+            &mut self.order_anon
+        };
+        let (&seq, &id) = order.iter().next()?;
+        order.remove(&seq);
+        let entry = self.entries.remove(&id).expect("order and entries agree");
+        Some(Evicted {
+            id,
+            dirty: entry.dirty,
+        })
+    }
+
+    /// Sticky victim selection: the inserting owner's own most recently
+    /// inserted unreferenced page, else the globally most recently
+    /// inserted unreferenced page.
+    fn evict_sticky(&mut self, inserting: Owner) -> Option<Evicted> {
+        if let Some(stack) = self.own_stacks.get_mut(&inserting) {
+            while let Some(id) = stack.pop() {
+                match self.entries.get(&id) {
+                    Some(e) if !e.referenced => {
+                        let e = self.entries.remove(&id).expect("present");
+                        Self::order_for(&mut self.order_file, &mut self.order_anon, id.owner)
+                            .remove(&e.seq);
+                        return Some(Evicted { id, dirty: e.dirty });
+                    }
+                    _ => continue, // Referenced since insertion, or stale.
+                }
+            }
+        }
+        while let Some(id) = self.global_stack.pop() {
+            match self.entries.get(&id) {
+                Some(e) if !e.referenced => {
+                    let e = self.entries.remove(&id).expect("present");
+                    Self::order_for(&mut self.order_file, &mut self.order_anon, id.owner)
+                        .remove(&e.seq);
+                    return Some(Evicted { id, dirty: e.dirty });
+                }
+                _ => continue,
+            }
+        }
+        None
+    }
+
+    fn remove(&mut self, id: PageId) -> bool {
+        // Sticky stacks are cleaned lazily.
+        match self.entries.remove(&id) {
+            Some(e) => {
+                Self::order_for(&mut self.order_file, &mut self.order_anon, id.owner)
+                    .remove(&e.seq);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn clean(&mut self, id: PageId) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.dirty = false;
+        }
+    }
+
+    fn compact_if_bloated(&mut self) {
+        // Lazy sticky stacks can accumulate stale ids after heavy churn;
+        // compact when they exceed 4x the live population.
+        let live = self.entries.len();
+        if self.global_stack.len() > live * 4 + 64 {
+            let entries = &self.entries;
+            self.global_stack
+                .retain(|id| entries.get(id).is_some_and(|e| !e.referenced));
+        }
+        for stack in self.own_stacks.values_mut() {
+            if stack.len() > live * 4 + 64 {
+                let entries = &self.entries;
+                stack.retain(|id| entries.get(id).is_some_and(|e| !e.referenced));
+            }
+        }
+    }
+}
+
+/// Which pool a page belongs to under a given architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PoolSel {
+    Single,
+    FilePool,
+    AnonPool,
+}
+
+/// The machine-wide page cache.
+#[derive(Debug)]
+pub struct PageCache {
+    pools: Vec<Pool>,
+    select: fn(Owner) -> PoolSel,
+    file_pool_idx: usize,
+    anon_pool_idx: usize,
+}
+
+fn select_unified(_o: Owner) -> PoolSel {
+    PoolSel::Single
+}
+
+fn select_split(o: Owner) -> PoolSel {
+    if o.is_file() {
+        PoolSel::FilePool
+    } else {
+        PoolSel::AnonPool
+    }
+}
+
+impl PageCache {
+    /// Builds the cache for the given architecture over `total_pages`
+    /// usable frames.
+    pub fn new(arch: crate::config::CacheArch, total_pages: u64, page_size: u64) -> Self {
+        match arch {
+            crate::config::CacheArch::Unified => PageCache {
+                pools: vec![Pool::new(total_pages as usize, Policy::Lru, true)],
+                select: select_unified,
+                file_pool_idx: 0,
+                anon_pool_idx: 0,
+            },
+            crate::config::CacheArch::UnifiedSticky => PageCache {
+                pools: vec![Pool::new(total_pages as usize, Policy::Sticky, true)],
+                select: select_unified,
+                file_pool_idx: 0,
+                anon_pool_idx: 0,
+            },
+            crate::config::CacheArch::SplitFixed { file_cache_bytes } => {
+                let file_pages = (file_cache_bytes / page_size).min(total_pages.saturating_sub(1));
+                let anon_pages = total_pages - file_pages;
+                PageCache {
+                    pools: vec![
+                        Pool::new(file_pages as usize, Policy::Lru, false),
+                        Pool::new(anon_pages as usize, Policy::Lru, false),
+                    ],
+                    select: select_split,
+                    file_pool_idx: 0,
+                    anon_pool_idx: 1,
+                }
+            }
+        }
+    }
+
+    fn pool_mut(&mut self, owner: Owner) -> &mut Pool {
+        let idx = match (self.select)(owner) {
+            PoolSel::Single => 0,
+            PoolSel::FilePool => self.file_pool_idx,
+            PoolSel::AnonPool => self.anon_pool_idx,
+        };
+        &mut self.pools[idx]
+    }
+
+    fn pool(&self, owner: Owner) -> &Pool {
+        let idx = match (self.select)(owner) {
+            PoolSel::Single => 0,
+            PoolSel::FilePool => self.file_pool_idx,
+            PoolSel::AnonPool => self.anon_pool_idx,
+        };
+        &self.pools[idx]
+    }
+
+    /// Whether the page is resident; on a hit, sets its reference bit.
+    pub fn lookup_touch(&mut self, id: PageId) -> bool {
+        self.pool_mut(id.owner).lookup_touch(id)
+    }
+
+    /// Whether the page is resident, without touching reference bits.
+    pub fn contains(&self, id: PageId) -> bool {
+        self.pool(id.owner).entries.contains_key(&id)
+    }
+
+    /// Inserts a page, evicting as needed; returns the eviction list (the
+    /// kernel charges write-backs for dirty ones).
+    pub fn insert(&mut self, id: PageId, dirty: bool) -> Vec<Evicted> {
+        let pool = self.pool_mut(id.owner);
+        let out = pool.insert(id, dirty);
+        pool.compact_if_bloated();
+        out
+    }
+
+    /// Marks a resident page dirty; false if it was not resident.
+    pub fn mark_dirty(&mut self, id: PageId) -> bool {
+        self.pool_mut(id.owner).mark_dirty(id)
+    }
+
+    /// Clears the dirty bit after a write-back.
+    pub fn clean(&mut self, id: PageId) {
+        self.pool_mut(id.owner).clean(id);
+    }
+
+    /// Removes one page (truncate/unlink/free paths).
+    pub fn remove(&mut self, id: PageId) -> bool {
+        self.pool_mut(id.owner).remove(id)
+    }
+
+    /// Removes every page of an owner, returning how many were dropped and
+    /// which of them were dirty.
+    pub fn remove_owner(&mut self, owner: Owner) -> Vec<Evicted> {
+        let pool = self.pool_mut(owner);
+        let ids: Vec<PageId> = pool
+            .entries
+            .keys()
+            .filter(|id| id.owner == owner)
+            .copied()
+            .collect();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            if let Some(e) = pool.entries.remove(&id) {
+                Pool::order_for(&mut pool.order_file, &mut pool.order_anon, id.owner)
+                    .remove(&e.seq);
+                out.push(Evicted { id, dirty: e.dirty });
+            }
+        }
+        out
+    }
+
+    /// Drops **all file pages** (the experimental "flush the file cache"
+    /// between runs), returning the dirty ones for write-back accounting.
+    pub fn drop_file_pages(&mut self) -> Vec<Evicted> {
+        let mut out = Vec::new();
+        for pool in &mut self.pools {
+            let ids: Vec<PageId> = pool
+                .entries
+                .keys()
+                .filter(|id| id.owner.is_file())
+                .copied()
+                .collect();
+            for id in ids {
+                if let Some(e) = pool.entries.remove(&id) {
+                    pool.order_file.remove(&e.seq);
+                    out.push(Evicted { id, dirty: e.dirty });
+                }
+            }
+            pool.own_stacks.clear();
+            pool.global_stack
+                .retain(|id| pool.entries.contains_key(id));
+        }
+        out
+    }
+
+    /// All dirty pages currently resident (for `sync`).
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        self.pools
+            .iter()
+            .flat_map(|p| {
+                p.entries
+                    .iter()
+                    .filter(|(_, e)| e.dirty)
+                    .map(|(id, _)| *id)
+            })
+            .collect()
+    }
+
+    /// Total resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pools.iter().map(|p| p.entries.len()).sum()
+    }
+
+    /// Resident pages belonging to `owner`.
+    pub fn resident_of(&self, owner: Owner) -> Vec<u64> {
+        let pool = self.pool(owner);
+        let mut pages: Vec<u64> = pool
+            .entries
+            .keys()
+            .filter(|id| id.owner == owner)
+            .map(|id| id.page)
+            .collect();
+        pages.sort_unstable();
+        pages
+    }
+
+    /// Free frames in the pool that would host `owner`.
+    pub fn free_pages_for(&self, owner: Owner) -> u64 {
+        let pool = self.pool(owner);
+        pool.capacity.saturating_sub(pool.entries.len()) as u64
+    }
+
+    /// Capacity of the pool that hosts `owner`.
+    pub fn capacity_for(&self, owner: Owner) -> u64 {
+        self.pool(owner).capacity as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheArch;
+
+    fn file_page(ino: u64, page: u64) -> PageId {
+        PageId {
+            owner: Owner::File { dev: 0, ino },
+            page,
+        }
+    }
+
+    fn anon_page(region: u64, page: u64) -> PageId {
+        PageId {
+            owner: Owner::Anon { region },
+            page,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_in_insertion_order_without_references() {
+        let mut c = PageCache::new(CacheArch::Unified, 3, 4096);
+        for p in 0..3 {
+            assert!(c.insert(file_page(1, p), false).is_empty());
+        }
+        let evicted = c.insert(file_page(1, 3), false);
+        assert_eq!(evicted, vec![Evicted { id: file_page(1, 0), dirty: false }]);
+    }
+
+    #[test]
+    fn referenced_pages_get_a_second_chance() {
+        let mut c = PageCache::new(CacheArch::Unified, 3, 4096);
+        for p in 0..3 {
+            c.insert(file_page(1, p), false);
+        }
+        assert!(c.lookup_touch(file_page(1, 0)));
+        let evicted = c.insert(file_page(1, 3), false);
+        // Page 0 was referenced, so page 1 goes instead.
+        assert_eq!(evicted[0].id, file_page(1, 1));
+        assert!(c.contains(file_page(1, 0)));
+    }
+
+    #[test]
+    fn dirty_flag_travels_with_eviction() {
+        let mut c = PageCache::new(CacheArch::Unified, 1, 4096);
+        c.insert(file_page(1, 0), true);
+        let evicted = c.insert(file_page(1, 1), false);
+        assert!(evicted[0].dirty);
+    }
+
+    #[test]
+    fn reinsert_is_a_refresh_not_a_duplicate() {
+        let mut c = PageCache::new(CacheArch::Unified, 2, 4096);
+        c.insert(file_page(1, 0), false);
+        c.insert(file_page(1, 0), true);
+        assert_eq!(c.resident_pages(), 1);
+        let dirty = c.dirty_pages();
+        assert_eq!(dirty, vec![file_page(1, 0)]);
+    }
+
+    #[test]
+    fn split_pools_do_not_steal_from_each_other() {
+        let arch = CacheArch::SplitFixed {
+            file_cache_bytes: 2 * 4096,
+        };
+        let mut c = PageCache::new(arch, 10, 4096);
+        assert_eq!(c.capacity_for(Owner::File { dev: 0, ino: 1 }), 2);
+        assert_eq!(c.capacity_for(Owner::Anon { region: 1 }), 8);
+        // Fill the file pool; anon stays untouched.
+        for p in 0..4 {
+            c.insert(file_page(1, p), false);
+        }
+        c.insert(anon_page(1, 0), true);
+        assert_eq!(c.resident_of(Owner::File { dev: 0, ino: 1 }).len(), 2);
+        assert_eq!(c.resident_of(Owner::Anon { region: 1 }).len(), 1);
+    }
+
+    #[test]
+    fn sticky_scan_retains_head_of_file() {
+        let mut c = PageCache::new(CacheArch::UnifiedSticky, 4, 4096);
+        // Scan 8 pages of one file through a 4-page cache.
+        for p in 0..8 {
+            c.insert(file_page(1, p), false);
+        }
+        let resident = c.resident_of(Owner::File { dev: 0, ino: 1 });
+        // The head of the file must survive; the tail churned in place.
+        assert!(resident.contains(&0), "resident: {resident:?}");
+        assert!(resident.contains(&1), "resident: {resident:?}");
+        assert!(resident.contains(&2), "resident: {resident:?}");
+    }
+
+    #[test]
+    fn sticky_second_file_does_not_dislodge_first() {
+        let mut c = PageCache::new(CacheArch::UnifiedSticky, 4, 4096);
+        for p in 0..4 {
+            c.insert(file_page(1, p), false);
+        }
+        // Re-reference file 1 so its pages are protected.
+        for p in 0..4 {
+            assert!(c.lookup_touch(file_page(1, p)));
+        }
+        // Scan a second file through.
+        for p in 0..8 {
+            c.insert(file_page(2, p), false);
+        }
+        let f1 = c.resident_of(Owner::File { dev: 0, ino: 1 });
+        assert!(f1.len() >= 3, "file 1 should survive a foreign scan: {f1:?}");
+    }
+
+    #[test]
+    fn unified_clock_scan_evicts_everything() {
+        // Contrast with sticky: a 2x-cache scan under pure clock leaves
+        // only the most recent pages.
+        let mut c = PageCache::new(CacheArch::Unified, 4, 4096);
+        for p in 0..8 {
+            c.insert(file_page(1, p), false);
+        }
+        let resident = c.resident_of(Owner::File { dev: 0, ino: 1 });
+        assert_eq!(resident, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn remove_owner_purges_only_that_owner() {
+        let mut c = PageCache::new(CacheArch::Unified, 8, 4096);
+        c.insert(file_page(1, 0), false);
+        c.insert(file_page(2, 0), true);
+        let dropped = c.remove_owner(Owner::File { dev: 0, ino: 2 });
+        assert_eq!(dropped.len(), 1);
+        assert!(dropped[0].dirty);
+        assert!(c.contains(file_page(1, 0)));
+        assert!(!c.contains(file_page(2, 0)));
+    }
+
+    #[test]
+    fn drop_file_pages_keeps_anon() {
+        let mut c = PageCache::new(CacheArch::Unified, 8, 4096);
+        c.insert(file_page(1, 0), false);
+        c.insert(anon_page(1, 0), true);
+        c.drop_file_pages();
+        assert!(!c.contains(file_page(1, 0)));
+        assert!(c.contains(anon_page(1, 0)));
+    }
+
+    #[test]
+    fn clean_clears_dirty() {
+        let mut c = PageCache::new(CacheArch::Unified, 8, 4096);
+        c.insert(file_page(1, 0), true);
+        c.clean(file_page(1, 0));
+        assert!(c.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_keeps_order_and_entries_in_sync() {
+        let mut c = PageCache::new(CacheArch::Unified, 16, 4096);
+        for round in 0..100u64 {
+            for p in 0..16 {
+                c.insert(file_page(round % 3, p), false);
+            }
+            c.remove_owner(Owner::File { dev: 0, ino: round % 3 });
+        }
+        assert_eq!(
+            c.pools[0].order_file.len() + c.pools[0].order_anon.len(),
+            c.pools[0].entries.len()
+        );
+    }
+
+    #[test]
+    fn free_pages_accounting() {
+        let mut c = PageCache::new(CacheArch::Unified, 4, 4096);
+        let owner = Owner::File { dev: 0, ino: 1 };
+        assert_eq!(c.free_pages_for(owner), 4);
+        c.insert(file_page(1, 0), false);
+        assert_eq!(c.free_pages_for(owner), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! Virtual time, CPU resources, and the seeded noise model.
+//!
+//! Every simulated process carries its own virtual clock; shared resources
+//! (CPUs here, disks in [`crate::disk`]) serialize access by tracking when
+//! they next become free. The executor always runs the process with the
+//! smallest local time, so state mutations are applied in causal order —
+//! this is a conservative sequential discrete-event simulation.
+
+use gray_toolbox::{GrayDuration, Nanos};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::config::NoiseParams;
+
+/// Deterministic latency noise generator.
+#[derive(Debug)]
+pub struct Noise {
+    params: NoiseParams,
+    rng: StdRng,
+}
+
+impl Noise {
+    /// Creates a noise source with the given parameters and seed.
+    pub fn new(params: NoiseParams, seed: u64) -> Self {
+        Noise {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Applies jitter and occasional spikes to a duration.
+    pub fn apply(&mut self, d: GrayDuration) -> GrayDuration {
+        let mut out = d;
+        if self.params.jitter_frac > 0.0 && d > GrayDuration::ZERO {
+            let f = self
+                .rng
+                .random_range(-self.params.jitter_frac..=self.params.jitter_frac);
+            out = d.mul_f64(1.0 + f);
+        }
+        if self.params.spike_prob > 0.0 && self.rng.random_bool(self.params.spike_prob) {
+            // Exponentially distributed spike via inverse transform.
+            let u: f64 = self.rng.random_range(f64::EPSILON..1.0);
+            let extra = self.params.spike_mean.mul_f64(-u.ln());
+            out += extra;
+        }
+        out
+    }
+
+    /// Quantizes a clock reading to the configured timer granularity.
+    pub fn quantize(&self, t: Nanos) -> Nanos {
+        let q = self.params.timer_quantum_ns.max(1);
+        Nanos(t.0 / q * q)
+    }
+}
+
+/// A bank of CPUs, each free from some instant onward.
+#[derive(Debug, Clone)]
+pub struct CpuBank {
+    free_at: Vec<Nanos>,
+}
+
+impl CpuBank {
+    /// Creates `n` idle CPUs.
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 1, "need at least one CPU");
+        CpuBank {
+            free_at: vec![Nanos::ZERO; n as usize],
+        }
+    }
+
+    /// Runs `work` for a process whose local clock reads `now`, returning
+    /// the completion instant. Picks the earliest-free CPU; the work starts
+    /// when both the process and the CPU are ready.
+    pub fn run(&mut self, now: Nanos, work: GrayDuration) -> Nanos {
+        let slot = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, &t)| (t, *i))
+            .map(|(i, _)| i)
+            .expect("at least one CPU");
+        let start = now.max(self.free_at[slot]);
+        let end = start + work;
+        self.free_at[slot] = end;
+        end
+    }
+
+    /// The number of CPUs.
+    pub fn len(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Whether the bank is empty (never true; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.free_at.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut n = Noise::new(NoiseParams::none(), 7);
+        let d = GrayDuration::from_micros(10);
+        for _ in 0..100 {
+            assert_eq!(n.apply(d), d);
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let mut n = Noise::new(
+            NoiseParams {
+                jitter_frac: 0.1,
+                spike_prob: 0.0,
+                ..NoiseParams::none()
+            },
+            7,
+        );
+        let d = GrayDuration::from_micros(100);
+        for _ in 0..1000 {
+            let out = n.apply(d);
+            assert!(out >= d.mul_f64(0.9) && out <= d.mul_f64(1.1), "{out}");
+        }
+    }
+
+    #[test]
+    fn spikes_occur_at_roughly_configured_rate() {
+        let mut n = Noise::new(
+            NoiseParams {
+                jitter_frac: 0.0,
+                spike_prob: 0.05,
+                spike_mean: GrayDuration::from_micros(100),
+                timer_quantum_ns: 1,
+            },
+            7,
+        );
+        let d = GrayDuration::from_micros(1);
+        let spikes = (0..10_000)
+            .filter(|_| n.apply(d) > d * 2)
+            .count();
+        assert!((300..=800).contains(&spikes), "spike count {spikes}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let params = NoiseParams::default();
+        let mut a = Noise::new(params, 42);
+        let mut b = Noise::new(params, 42);
+        let d = GrayDuration::from_micros(5);
+        for _ in 0..100 {
+            assert_eq!(a.apply(d), b.apply(d));
+        }
+    }
+
+    #[test]
+    fn quantization_truncates() {
+        let n = Noise::new(
+            NoiseParams {
+                timer_quantum_ns: 1000,
+                ..NoiseParams::none()
+            },
+            0,
+        );
+        assert_eq!(n.quantize(Nanos(1999)), Nanos(1000));
+        assert_eq!(n.quantize(Nanos(2000)), Nanos(2000));
+    }
+
+    #[test]
+    fn single_cpu_serializes_work() {
+        let mut bank = CpuBank::new(1);
+        let e1 = bank.run(Nanos::ZERO, GrayDuration::from_micros(10));
+        assert_eq!(e1, Nanos::from_micros(10));
+        // A second process at time 0 must queue behind the first.
+        let e2 = bank.run(Nanos::ZERO, GrayDuration::from_micros(5));
+        assert_eq!(e2, Nanos::from_micros(15));
+    }
+
+    #[test]
+    fn two_cpus_run_in_parallel() {
+        let mut bank = CpuBank::new(2);
+        let e1 = bank.run(Nanos::ZERO, GrayDuration::from_micros(10));
+        let e2 = bank.run(Nanos::ZERO, GrayDuration::from_micros(10));
+        assert_eq!(e1, Nanos::from_micros(10));
+        assert_eq!(e2, Nanos::from_micros(10));
+    }
+
+    #[test]
+    fn late_process_does_not_wait_for_idle_cpu() {
+        let mut bank = CpuBank::new(1);
+        let _ = bank.run(Nanos::ZERO, GrayDuration::from_micros(1));
+        let end = bank.run(Nanos::from_micros(100), GrayDuration::from_micros(1));
+        assert_eq!(end, Nanos::from_micros(101));
+    }
+}

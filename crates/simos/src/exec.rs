@@ -1,0 +1,482 @@
+//! The deterministic process executor.
+//!
+//! Each simulated process runs on a real OS thread, but **exactly one
+//! thread runs at a time**: every syscall atomically (a) mutates kernel
+//! state at the process's local virtual time and (b) hands the baton to the
+//! runnable process with the *smallest* local time. Running the minimum-
+//! time process first makes state mutations apply in causal order — a
+//! conservative sequential discrete-event simulation with threads providing
+//! the control flow, so workload code is ordinary imperative Rust.
+//!
+//! Determinism: scheduling decisions depend only on virtual times and pids,
+//! never on host timing, so a simulation with a fixed seed replays
+//! identically.
+
+use std::sync::Arc;
+
+use graybox::os::{Fd, GrayBoxOs, MemRegion, OsResult, Stat};
+use gray_toolbox::{GrayDuration, Nanos};
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::SimConfig;
+use crate::kernel::Kernel;
+use crate::oracle::Oracle;
+
+/// A workload closure run as one simulated process.
+pub type Workload<'env, R> = Box<dyn FnOnce(&SimProc) -> R + Send + 'env>;
+
+#[derive(Debug)]
+struct Sched {
+    /// The pid currently holding the baton.
+    running: usize,
+    /// Pids participating in the current `run` call.
+    active: Vec<usize>,
+}
+
+struct State {
+    kernel: Kernel,
+    sched: Sched,
+}
+
+pub(crate) struct SharedHandle {
+    m: Mutex<State>,
+    cv: Condvar,
+}
+
+impl SharedHandle {
+    pub(crate) fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        f(&mut self.m.lock().kernel)
+    }
+}
+
+/// A simulation instance: one kernel plus the machinery to run processes
+/// against it. Construct with [`Sim::new`], run workloads with
+/// [`Sim::run_one`] (single process, zero thread overhead) or
+/// [`Sim::run`] (multiprogramming), and inspect ground truth with
+/// [`Sim::oracle`].
+///
+/// Kernel state (caches, file systems, clocks) **persists across runs**, so
+/// warm-cache experiments are expressed as consecutive `run_one` calls.
+pub struct Sim {
+    shared: Arc<SharedHandle>,
+}
+
+impl Sim {
+    /// Boots a simulation from a configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        Sim {
+            shared: Arc::new(SharedHandle {
+                m: Mutex::new(State {
+                    kernel: Kernel::new(cfg),
+                    sched: Sched {
+                        running: usize::MAX,
+                        active: Vec::new(),
+                    },
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Runs a single process on the calling thread (no thread spawn, no
+    /// baton passing) and returns its result. The process starts at the
+    /// latest virtual time any previous process reached.
+    pub fn run_one<R>(&mut self, f: impl FnOnce(&SimProc) -> R) -> R {
+        let pid = {
+            let mut st = self.shared.m.lock();
+            let start = st.kernel.max_time();
+            let pid = st.kernel.add_proc(start);
+            st.sched.running = pid;
+            st.sched.active = vec![pid];
+            pid
+        };
+        let proc_handle = SimProc {
+            shared: Arc::clone(&self.shared),
+            pid,
+        };
+        let r = f(&proc_handle);
+        let mut st = self.shared.m.lock();
+        st.kernel.finish_proc(pid);
+        st.sched.active.clear();
+        r
+    }
+
+    /// Runs a set of processes concurrently (in virtual time) and returns
+    /// their results in input order. All processes start at the same
+    /// instant.
+    pub fn run<'env, R: Send + 'env>(&mut self, workloads: Vec<(String, Workload<'env, R>)>) -> Vec<R> {
+        if workloads.is_empty() {
+            return Vec::new();
+        }
+        let pids: Vec<usize> = {
+            let mut st = self.shared.m.lock();
+            let start = st.kernel.max_time();
+            let pids: Vec<usize> = workloads
+                .iter()
+                .map(|_| st.kernel.add_proc(start))
+                .collect();
+            st.sched.active = pids.clone();
+            st.sched.running = pids[0];
+            pids
+        };
+        let results: Vec<Mutex<Option<R>>> =
+            workloads.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for ((_name, workload), (&pid, slot)) in workloads
+                .into_iter()
+                .zip(pids.iter().zip(results.iter()))
+            {
+                let shared = Arc::clone(&self.shared);
+                scope.spawn(move || {
+                    let proc_handle = SimProc {
+                        shared: Arc::clone(&shared),
+                        pid,
+                    };
+                    // Wait for the baton before the first instruction.
+                    {
+                        let mut st = shared.m.lock();
+                        while st.sched.running != pid {
+                            shared.cv.wait(&mut st);
+                        }
+                    }
+                    // The finisher releases the baton even if the workload
+                    // panics, so sibling processes are not stranded.
+                    let _finisher = ProcFinisher {
+                        shared: &shared,
+                        pid,
+                    };
+                    let r = workload(&proc_handle);
+                    *slot.lock() = Some(r);
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("workload completed"))
+            .collect()
+    }
+
+    /// Ground-truth inspection (never available to ICL code).
+    pub fn oracle(&self) -> Oracle {
+        Oracle::new(Arc::clone(&self.shared))
+    }
+
+    /// Drops all file pages from the cache — the between-runs experimental
+    /// flush.
+    pub fn flush_file_cache(&mut self) {
+        self.shared.m.lock().kernel.flush_file_cache();
+    }
+
+    /// The latest virtual time any process reached.
+    pub fn now(&self) -> Nanos {
+        self.shared.m.lock().kernel.max_time()
+    }
+
+}
+
+/// Marks a process finished and passes the baton onward, even on panic.
+struct ProcFinisher<'a> {
+    shared: &'a SharedHandle,
+    pid: usize,
+}
+
+impl Drop for ProcFinisher<'_> {
+    fn drop(&mut self) {
+        let mut st = self.shared.m.lock();
+        st.kernel.finish_proc(self.pid);
+        st.sched.active.retain(|&p| p != self.pid);
+        if let Some(next) = choose_next(&st) {
+            st.sched.running = next;
+        } else {
+            st.sched.running = usize::MAX;
+        }
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+}
+
+/// The runnable process with the smallest (local time, pid).
+fn choose_next(st: &State) -> Option<usize> {
+    st.sched
+        .active
+        .iter()
+        .copied()
+        .filter(|&p| st.kernel.proc_live(p))
+        .min_by_key(|&p| (st.kernel.proc_time(p), p))
+}
+
+/// A process's handle to the simulated kernel; implements the full
+/// [`GrayBoxOs`] black-box surface.
+pub struct SimProc {
+    shared: Arc<SharedHandle>,
+    pid: usize,
+}
+
+impl SimProc {
+    /// The process id (for diagnostics).
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Runs one kernel operation, then yields the baton if another process
+    /// now has the smallest local time.
+    fn call<R>(&self, f: impl FnOnce(&mut Kernel, usize) -> R) -> R {
+        let mut st = self.shared.m.lock();
+        debug_assert_eq!(
+            st.sched.running, self.pid,
+            "process ran without holding the baton"
+        );
+        let r = f(&mut st.kernel, self.pid);
+        if let Some(next) = choose_next(&st) {
+            if next != self.pid {
+                st.sched.running = next;
+                self.shared.cv.notify_all();
+                while st.sched.running != self.pid {
+                    self.shared.cv.wait(&mut st);
+                }
+            }
+        }
+        r
+    }
+}
+
+impl GrayBoxOs for SimProc {
+    fn now(&self) -> Nanos {
+        self.call(|k, pid| k.sys_now(pid))
+    }
+
+    fn page_size(&self) -> u64 {
+        self.shared.m.lock().kernel.page_size()
+    }
+
+    fn open(&self, path: &str) -> OsResult<Fd> {
+        self.call(|k, pid| k.sys_open(pid, path))
+    }
+
+    fn create(&self, path: &str) -> OsResult<Fd> {
+        self.call(|k, pid| k.sys_create(pid, path))
+    }
+
+    fn close(&self, fd: Fd) -> OsResult<()> {
+        self.call(|k, pid| k.sys_close(pid, fd))
+    }
+
+    fn read_at(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> OsResult<usize> {
+        let len = buf.len() as u64;
+        self.call(|k, pid| k.sys_read(pid, fd, offset, len, Some(buf)))
+            .map(|n| n as usize)
+    }
+
+    fn read_discard(&self, fd: Fd, offset: u64, len: u64) -> OsResult<u64> {
+        self.call(|k, pid| k.sys_read(pid, fd, offset, len, None))
+    }
+
+    fn write_at(&self, fd: Fd, offset: u64, data: &[u8]) -> OsResult<usize> {
+        self.call(|k, pid| k.sys_write(pid, fd, offset, data.len() as u64, Some(data)))
+            .map(|n| n as usize)
+    }
+
+    fn write_fill(&self, fd: Fd, offset: u64, len: u64) -> OsResult<u64> {
+        self.call(|k, pid| k.sys_write(pid, fd, offset, len, None))
+    }
+
+    fn file_size(&self, fd: Fd) -> OsResult<u64> {
+        self.call(|k, pid| k.sys_file_size(pid, fd))
+    }
+
+    fn sync(&self) -> OsResult<()> {
+        self.call(|k, pid| k.sys_sync(pid))
+    }
+
+    fn stat(&self, path: &str) -> OsResult<Stat> {
+        self.call(|k, pid| k.sys_stat(pid, path))
+    }
+
+    fn list_dir(&self, path: &str) -> OsResult<Vec<String>> {
+        self.call(|k, pid| k.sys_list_dir(pid, path))
+    }
+
+    fn mkdir(&self, path: &str) -> OsResult<()> {
+        self.call(|k, pid| k.sys_mkdir(pid, path))
+    }
+
+    fn rmdir(&self, path: &str) -> OsResult<()> {
+        self.call(|k, pid| k.sys_rmdir(pid, path))
+    }
+
+    fn unlink(&self, path: &str) -> OsResult<()> {
+        self.call(|k, pid| k.sys_unlink(pid, path))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> OsResult<()> {
+        self.call(|k, pid| k.sys_rename(pid, from, to))
+    }
+
+    fn set_times(&self, path: &str, atime: Nanos, mtime: Nanos) -> OsResult<()> {
+        self.call(|k, pid| k.sys_set_times(pid, path, atime, mtime))
+    }
+
+    fn mem_alloc(&self, bytes: u64) -> OsResult<MemRegion> {
+        self.call(|k, pid| k.sys_mem_alloc(pid, bytes)).map(MemRegion)
+    }
+
+    fn mem_free(&self, region: MemRegion) -> OsResult<()> {
+        self.call(|k, pid| k.sys_mem_free(pid, region.0))
+    }
+
+    fn mem_touch_write(&self, region: MemRegion, page: u64) -> OsResult<()> {
+        self.call(|k, pid| k.sys_mem_touch_write(pid, region.0, page))
+    }
+
+    fn mem_touch_read(&self, region: MemRegion, page: u64) -> OsResult<u8> {
+        self.call(|k, pid| k.sys_mem_touch_read(pid, region.0, page))
+    }
+
+    fn compute(&self, work: GrayDuration) {
+        self.call(|k, pid| k.sys_compute(pid, work));
+    }
+
+    fn sleep(&self, d: GrayDuration) {
+        self.call(|k, pid| k.sys_sleep(pid, d));
+    }
+
+    fn yield_now(&self) {
+        self.call(|_k, _pid| ());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graybox::os::GrayBoxOsExt;
+
+    #[test]
+    fn run_one_executes_and_time_advances() {
+        let mut sim = Sim::new(SimConfig::small().without_noise());
+        let elapsed = sim.run_one(|os| {
+            let t0 = os.now();
+            os.compute(GrayDuration::from_millis(3));
+            os.now().since(t0)
+        });
+        assert!(elapsed >= GrayDuration::from_millis(3));
+    }
+
+    #[test]
+    fn state_persists_across_runs() {
+        let mut sim = Sim::new(SimConfig::small().without_noise());
+        sim.run_one(|os| os.write_file("/f", b"persist").unwrap());
+        let data = sim.run_one(|os| os.read_to_vec("/f").unwrap());
+        assert_eq!(data, b"persist");
+    }
+
+    #[test]
+    fn virtual_time_is_monotone_across_runs() {
+        let mut sim = Sim::new(SimConfig::small().without_noise());
+        let t1 = sim.run_one(|os| {
+            os.compute(GrayDuration::from_secs(1));
+            os.now()
+        });
+        let t2 = sim.run_one(|os| os.now());
+        assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn two_processes_share_one_cpu() {
+        let mut sim = Sim::new(SimConfig::small().without_noise());
+        // Two CPU-bound processes on one CPU: total elapsed ≈ 2x each.
+        let results = sim.run::<Nanos>(vec![
+            (
+                "a".to_string(),
+                Box::new(|os: &SimProc| {
+                    for _ in 0..10 {
+                        os.compute(GrayDuration::from_millis(10));
+                    }
+                    os.now()
+                }),
+            ),
+            (
+                "b".to_string(),
+                Box::new(|os: &SimProc| {
+                    for _ in 0..10 {
+                        os.compute(GrayDuration::from_millis(10));
+                    }
+                    os.now()
+                }),
+            ),
+        ]);
+        let end = results.iter().max().unwrap();
+        assert!(
+            end.as_secs_f64() >= 0.19,
+            "one CPU must serialize 200ms of work: ended at {end}"
+        );
+    }
+
+    #[test]
+    fn multi_process_runs_are_deterministic() {
+        let run = || {
+            let mut sim = Sim::new(SimConfig::small());
+            sim.run::<u64>(vec![
+                (
+                    "w1".to_string(),
+                    Box::new(|os: &SimProc| {
+                        os.write_file("/a", &[1u8; 10_000]).unwrap();
+                        os.now().as_nanos()
+                    }),
+                ),
+                (
+                    "w2".to_string(),
+                    Box::new(|os: &SimProc| {
+                        os.write_file("/b", &[2u8; 10_000]).unwrap();
+                        os.now().as_nanos()
+                    }),
+                ),
+            ])
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn disk_contention_slows_sharers() {
+        let cfg = SimConfig::small().without_noise();
+        // Alone:
+        let mut sim = Sim::new(cfg.clone());
+        let alone = sim.run_one(|os| {
+            let fd = os.create("/solo").unwrap();
+            let t0 = os.now();
+            os.write_fill(fd, 0, 8 << 20).unwrap();
+            os.now().since(t0)
+        });
+        // Two writers on the same disk:
+        let mut sim = Sim::new(cfg);
+        let make = |path: &'static str| -> Workload<'static, GrayDuration> {
+            Box::new(move |os: &SimProc| {
+                let fd = os.create(path).unwrap();
+                let t0 = os.now();
+                os.write_fill(fd, 0, 8 << 20).unwrap();
+                os.now().since(t0)
+            })
+        };
+        let both = Sim::run(&mut sim, vec![
+            ("a".to_string(), make("/a")),
+            ("b".to_string(), make("/b")),
+        ]);
+        let slowest = both.iter().max().unwrap();
+        assert!(
+            *slowest > alone,
+            "sharing a disk must be slower: alone {alone}, shared {slowest}"
+        );
+    }
+
+    #[test]
+    fn results_return_in_input_order() {
+        let mut sim = Sim::new(SimConfig::small().without_noise());
+        let r = sim.run::<usize>(vec![
+            ("x".to_string(), Box::new(|_os: &SimProc| 1usize)),
+            ("y".to_string(), Box::new(|_os: &SimProc| 2usize)),
+            ("z".to_string(), Box::new(|_os: &SimProc| 3usize)),
+        ]);
+        assert_eq!(r, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,1012 @@
+//! An FFS-like file system: cylinder groups, i-numbers, near-inode block
+//! placement, directories in creation order.
+//!
+//! This is the substrate FLDC's gray-box knowledge is *about* (paper
+//! Section 4.2.1):
+//!
+//! - the disk is divided into **cylinder groups**, each with an inode table
+//!   and a data area;
+//! - a file's inode is allocated in its **parent directory's group**, using
+//!   the **lowest free i-number** — so, on a clean file system, creation
+//!   order within a directory matches i-number order;
+//! - a file's **first data block** is allocated first-fit from its group's
+//!   data area and subsequent blocks extend contiguously when possible — so
+//!   i-number order also matches data-block layout until deletions punch
+//!   holes that later creations refill (aging);
+//! - **directories** are spread across groups (most-free-inodes first), so
+//!   a refreshed directory lands in a fresh group and regains contiguity.
+//!
+//! The `Fs` type is a pure state machine over metadata: every operation
+//! records the metadata blocks it touched in an [`IoLog`] (directory blocks
+//! and inode-table blocks, identified both by cacheable page and by disk
+//! block), and the kernel charges cache hits or disk I/O accordingly. File
+//! *content* is kept only for explicitly written data; bulk synthetic data
+//! is a per-block fill marker, so simulating gigabyte files costs megabytes.
+
+use std::collections::{BTreeSet, HashMap};
+
+use graybox::os::{OsError, OsResult};
+use gray_toolbox::Nanos;
+
+/// An i-number.
+pub type Ino = u64;
+
+/// The root directory's i-number (as on real UNIX).
+pub const ROOT_INO: Ino = 2;
+
+/// Pseudo-i-number under which inode-table blocks are cached.
+pub const ITABLE_INO: Ino = 1;
+
+/// Bytes per directory entry (name + i-number), FFS-flavored.
+const DIRENT_BYTES: u64 = 32;
+
+/// One metadata block access: the cacheable identity and the disk block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaAccess {
+    /// I-number the cache page belongs to ([`ITABLE_INO`] for inode-table
+    /// blocks, the directory's ino for directory blocks).
+    pub ino: Ino,
+    /// Page index within that owner.
+    pub page: u64,
+    /// Backing disk block.
+    pub disk_block: u64,
+}
+
+/// The metadata I/O a file-system operation performed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoLog {
+    /// Blocks that were read.
+    pub reads: Vec<MetaAccess>,
+    /// Blocks that were dirtied.
+    pub writes: Vec<MetaAccess>,
+}
+
+/// Content of one data block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BlockContent {
+    /// Explicitly written bytes.
+    Data(Box<[u8]>),
+    /// Synthetic fill: every byte equals the pattern.
+    Fill(u8),
+}
+
+/// An in-core inode.
+#[derive(Debug, Clone)]
+pub struct Inode {
+    /// The i-number.
+    pub ino: Ino,
+    /// Whether this is a directory.
+    pub is_dir: bool,
+    /// File size in bytes (0 for directories; their size is derived from
+    /// the entry count).
+    pub size: u64,
+    /// Data blocks, one per page, in page order.
+    pub blocks: Vec<u64>,
+    /// Last access time.
+    pub atime: Nanos,
+    /// Last modification time.
+    pub mtime: Nanos,
+    /// Directory entries in creation order (`None` for regular files).
+    pub entries: Option<Vec<(String, Ino)>>,
+    /// Home cylinder group.
+    pub group: usize,
+}
+
+/// One cylinder group.
+#[derive(Debug, Clone)]
+struct Group {
+    /// Free i-numbers in this group.
+    free_inos: BTreeSet<Ino>,
+    /// Free data blocks (global disk block numbers).
+    free_blocks: BTreeSet<u64>,
+    /// First disk block of the inode table.
+    itable_start: u64,
+    /// Allocation rotor: the search for a free block starts here and
+    /// wraps, as in FFS. The rotor is what makes aging *decorrelate*
+    /// i-numbers from layout: freed holes are not refilled until the
+    /// rotor comes back around, so files recreated after deletions get
+    /// blocks far from their (reused, low) i-numbers.
+    rotor: u64,
+}
+
+/// The file system over one disk.
+#[derive(Debug)]
+pub struct Fs {
+    params: crate::config::FsParams,
+    dev: u32,
+    groups: Vec<Group>,
+    inodes: HashMap<Ino, Inode>,
+    content: HashMap<u64, BlockContent>,
+    io: IoLog,
+    next_fill: u8,
+    /// LFS log head: the group index the log is currently writing into
+    /// (the per-group rotor supplies the position within the group).
+    log_group: usize,
+}
+
+impl Fs {
+    /// Creates an empty file system covering `disk_blocks` blocks of device
+    /// `dev`.
+    pub fn new(params: crate::config::FsParams, dev: u32, disk_blocks: u64) -> Self {
+        let itable_blocks = params.inodes_per_group.div_ceil(params.inodes_per_block);
+        let group_span = itable_blocks + params.blocks_per_group;
+        let n_groups = (disk_blocks / group_span).max(1) as usize;
+        let mut groups = Vec::with_capacity(n_groups);
+        for g in 0..n_groups as u64 {
+            let base = g * group_span;
+            let itable_start = base;
+            let data_start = base + itable_blocks;
+            let data_end = (data_start + params.blocks_per_group).min(disk_blocks);
+            let first_ino = g * params.inodes_per_group;
+            groups.push(Group {
+                free_inos: (first_ino..first_ino + params.inodes_per_group).collect(),
+                free_blocks: (data_start..data_end).collect(),
+                itable_start,
+                rotor: data_start,
+            });
+        }
+        let mut fs = Fs {
+            params,
+            dev,
+            groups,
+            inodes: HashMap::new(),
+            content: HashMap::new(),
+            io: IoLog::default(),
+            next_fill: 1,
+            log_group: 0,
+        };
+        // Materialize the root directory. I-numbers 0..=2 are reserved;
+        // claim them from group 0.
+        for reserved in 0..=ROOT_INO {
+            fs.groups[0].free_inos.remove(&reserved);
+        }
+        fs.inodes.insert(
+            ROOT_INO,
+            Inode {
+                ino: ROOT_INO,
+                is_dir: true,
+                size: 0,
+                blocks: Vec::new(),
+                atime: Nanos::ZERO,
+                mtime: Nanos::ZERO,
+                entries: Some(Vec::new()),
+                group: 0,
+            },
+        );
+        fs
+    }
+
+    /// The device index this file system lives on.
+    pub fn dev(&self) -> u32 {
+        self.dev
+    }
+
+    /// Takes (and clears) the metadata I/O log of the operations performed
+    /// since the last take.
+    pub fn take_io(&mut self) -> IoLog {
+        std::mem::take(&mut self.io)
+    }
+
+    /// Looks at an inode (oracle/tests; does not log I/O).
+    pub fn inode(&self, ino: Ino) -> Option<&Inode> {
+        self.inodes.get(&ino)
+    }
+
+    /// Number of cylinder groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    // --- Metadata I/O accounting ----------------------------------------
+
+    /// The disk block holding `ino`'s on-disk inode.
+    fn inode_disk_block(&self, ino: Ino) -> u64 {
+        let g = (ino / self.params.inodes_per_group) as usize;
+        let idx_in_group = ino % self.params.inodes_per_group;
+        self.groups[g].itable_start + idx_in_group / self.params.inodes_per_block
+    }
+
+    fn log_inode_read(&mut self, ino: Ino) {
+        let disk_block = self.inode_disk_block(ino);
+        // Inode-table blocks are cached under the pseudo-file, paged by
+        // their disk block so distinct groups do not collide.
+        self.io.reads.push(MetaAccess {
+            ino: ITABLE_INO,
+            page: disk_block,
+            disk_block,
+        });
+    }
+
+    fn log_inode_write(&mut self, ino: Ino) {
+        let disk_block = self.inode_disk_block(ino);
+        self.io.writes.push(MetaAccess {
+            ino: ITABLE_INO,
+            page: disk_block,
+            disk_block,
+        });
+    }
+
+    /// Directory blocks holding entries `[0, upto)`.
+    fn log_dir_read(&mut self, dir: Ino, upto_entry: usize) {
+        let per_block = (self.params.block_size / DIRENT_BYTES).max(1);
+        let nblocks = (upto_entry as u64).div_ceil(per_block).max(1);
+        let dir_inode = &self.inodes[&dir];
+        for page in 0..nblocks {
+            let disk_block = match dir_inode.blocks.get(page as usize) {
+                Some(&b) => b,
+                None => break,
+            };
+            self.io.reads.push(MetaAccess {
+                ino: dir,
+                page,
+                disk_block,
+            });
+        }
+    }
+
+    fn log_dir_write(&mut self, dir: Ino, entry_index: usize) {
+        let per_block = (self.params.block_size / DIRENT_BYTES).max(1);
+        let page = entry_index as u64 / per_block;
+        if let Some(&disk_block) = self.inodes[&dir].blocks.get(page as usize) {
+            self.io.writes.push(MetaAccess {
+                ino: dir,
+                page,
+                disk_block,
+            });
+        }
+    }
+
+    /// Ensures the directory has enough data blocks for its entries.
+    fn grow_dir(&mut self, dir: Ino) -> OsResult<()> {
+        let per_block = (self.params.block_size / DIRENT_BYTES).max(1);
+        let (needed, group, last) = {
+            let inode = &self.inodes[&dir];
+            let n = inode.entries.as_ref().map(|e| e.len()).unwrap_or(0) as u64;
+            (
+                n.div_ceil(per_block).max(1) as usize,
+                inode.group,
+                inode.blocks.last().copied(),
+            )
+        };
+        while self.inodes[&dir].blocks.len() < needed {
+            let near = last.map(|b| b + 1);
+            let block = self.alloc_data_block(group, near)?;
+            self.inodes.get_mut(&dir).expect("dir exists").blocks.push(block);
+        }
+        Ok(())
+    }
+
+    // --- Allocation ------------------------------------------------------
+
+    /// Lowest free i-number, preferring `group` then scanning onward.
+    fn alloc_ino(&mut self, group: usize) -> OsResult<(Ino, usize)> {
+        let n = self.groups.len();
+        for off in 0..n {
+            let g = (group + off) % n;
+            if let Some(&ino) = self.groups[g].free_inos.iter().next() {
+                self.groups[g].free_inos.remove(&ino);
+                return Ok((ino, g));
+            }
+        }
+        Err(OsError::NoSpace)
+    }
+
+    /// A free data block, preferring `near` (for contiguity), then
+    /// first-fit in `group`, then any group.
+    ///
+    /// Under [`crate::config::LayoutPolicy::Lfs`], all of that is ignored:
+    /// every block comes from the global log head, so temporal write
+    /// order *is* spatial order.
+    fn alloc_data_block(&mut self, group: usize, near: Option<u64>) -> OsResult<u64> {
+        if self.params.layout == crate::config::LayoutPolicy::Lfs {
+            return self.alloc_log_block();
+        }
+        if let Some(want) = near {
+            let g = &mut self.groups[group];
+            if g.free_blocks.remove(&want) {
+                return Ok(want);
+            }
+        }
+        let n = self.groups.len();
+        for off in 0..n {
+            let gi = (group + off) % n;
+            let g = &mut self.groups[gi];
+            // Rotor search: first free block at or after the rotor, then
+            // wrap to the start of the group's data area.
+            let found = g
+                .free_blocks
+                .range(g.rotor..)
+                .next()
+                .or_else(|| g.free_blocks.iter().next())
+                .copied();
+            if let Some(b) = found {
+                g.free_blocks.remove(&b);
+                g.rotor = b + 1;
+                return Ok(b);
+            }
+        }
+        Err(OsError::NoSpace)
+    }
+
+    /// LFS: the next block at the log head, advancing through groups and
+    /// wrapping (a trivial "cleaner": freed blocks become allocatable once
+    /// the head wraps back around to them).
+    fn alloc_log_block(&mut self) -> OsResult<u64> {
+        let n = self.groups.len();
+        for off in 0..=n {
+            let gi = (self.log_group + off) % n;
+            let g = &mut self.groups[gi];
+            let found = g
+                .free_blocks
+                .range(g.rotor..)
+                .next()
+                .copied()
+                .or_else(|| {
+                    // Wrap within the group only when moving to it fresh.
+                    if off > 0 {
+                        g.free_blocks.iter().next().copied()
+                    } else {
+                        None
+                    }
+                });
+            if let Some(b) = found {
+                g.free_blocks.remove(&b);
+                g.rotor = b + 1;
+                self.log_group = gi;
+                return Ok(b);
+            }
+        }
+        Err(OsError::NoSpace)
+    }
+
+    /// LFS: an overwrite relocates the block to the log head. Returns the
+    /// new disk block (the old one is freed; its content moves).
+    pub fn relocate_block(&mut self, ino: Ino, page: u64) -> OsResult<u64> {
+        debug_assert_eq!(self.params.layout, crate::config::LayoutPolicy::Lfs);
+        let old = {
+            let inode = self.inodes.get(&ino).ok_or(OsError::NotFound)?;
+            *inode
+                .blocks
+                .get(page as usize)
+                .ok_or(OsError::InvalidArgument)?
+        };
+        let new = self.alloc_log_block()?;
+        if let Some(content) = self.content.remove(&old) {
+            self.content.insert(new, content);
+        }
+        self.free_data_block(old);
+        let inode = self.inodes.get_mut(&ino).expect("checked above");
+        inode.blocks[page as usize] = new;
+        self.log_inode_write(ino);
+        Ok(new)
+    }
+
+    /// The active layout policy.
+    pub fn layout(&self) -> crate::config::LayoutPolicy {
+        self.params.layout
+    }
+
+    fn group_of_block(&self, block: u64) -> usize {
+        let itable_blocks = self
+            .params
+            .inodes_per_group
+            .div_ceil(self.params.inodes_per_block);
+        let span = itable_blocks + self.params.blocks_per_group;
+        (block / span) as usize
+    }
+
+    fn free_data_block(&mut self, block: u64) {
+        let g = self.group_of_block(block);
+        self.groups[g].free_blocks.insert(block);
+        self.content.remove(&block);
+    }
+
+    /// The group with the most free i-numbers (FFS spreads directories).
+    fn emptiest_group(&self) -> usize {
+        self.groups
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, g)| (g.free_inos.len(), usize::MAX - i))
+            .map(|(i, _)| i)
+            .expect("at least one group")
+    }
+
+    // --- Path walking ----------------------------------------------------
+
+    fn split_path(path: &str) -> OsResult<Vec<&str>> {
+        if !path.starts_with('/') {
+            return Err(OsError::InvalidArgument);
+        }
+        Ok(path.split('/').filter(|c| !c.is_empty()).collect())
+    }
+
+    /// Resolves a path to an i-number, logging the directory and inode
+    /// reads the walk performs.
+    pub fn resolve(&mut self, path: &str) -> OsResult<Ino> {
+        let components = Self::split_path(path)?;
+        let mut cur = ROOT_INO;
+        for comp in components {
+            let inode = self.inodes.get(&cur).ok_or(OsError::NotFound)?;
+            let entries = inode.entries.as_ref().ok_or(OsError::NotADirectory)?;
+            let found = entries
+                .iter()
+                .position(|(name, _)| name == comp)
+                .ok_or(OsError::NotFound)?;
+            let next = entries[found].1;
+            self.log_dir_read(cur, found + 1);
+            self.log_inode_read(next);
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    /// Resolves the parent directory of `path`, returning `(dir_ino,
+    /// final_name)`.
+    fn resolve_parent<'p>(&mut self, path: &'p str) -> OsResult<(Ino, &'p str)> {
+        let components = Self::split_path(path)?;
+        let Some((&name, parents)) = components.split_last() else {
+            return Err(OsError::InvalidArgument);
+        };
+        let mut cur = ROOT_INO;
+        for comp in parents {
+            let inode = self.inodes.get(&cur).ok_or(OsError::NotFound)?;
+            let entries = inode.entries.as_ref().ok_or(OsError::NotADirectory)?;
+            let found = entries
+                .iter()
+                .position(|(n, _)| n == comp)
+                .ok_or(OsError::NotFound)?;
+            let next = entries[found].1;
+            self.log_dir_read(cur, found + 1);
+            self.log_inode_read(next);
+            cur = next;
+        }
+        if self.inodes.get(&cur).and_then(|i| i.entries.as_ref()).is_none() {
+            return Err(OsError::NotADirectory);
+        }
+        Ok((cur, name))
+    }
+
+    // --- Namespace operations ---------------------------------------------
+
+    /// Creates a regular file; fails if the path exists.
+    pub fn create(&mut self, path: &str, now: Nanos) -> OsResult<Ino> {
+        let (dir, name) = self.resolve_parent(path)?;
+        let entries = self.inodes[&dir].entries.as_ref().expect("checked dir");
+        if entries.iter().any(|(n, _)| n == name) {
+            return Err(OsError::AlreadyExists);
+        }
+        let group = self.inodes[&dir].group;
+        let (ino, actual_group) = self.alloc_ino(group)?;
+        self.inodes.insert(
+            ino,
+            Inode {
+                ino,
+                is_dir: false,
+                size: 0,
+                blocks: Vec::new(),
+                atime: now,
+                mtime: now,
+                entries: None,
+                group: actual_group,
+            },
+        );
+        let name = name.to_string();
+        let dir_inode = self.inodes.get_mut(&dir).expect("checked dir");
+        let idx = {
+            let entries = dir_inode.entries.as_mut().expect("checked dir");
+            entries.push((name, ino));
+            entries.len() - 1
+        };
+        dir_inode.mtime = now;
+        self.grow_dir(dir)?;
+        self.log_dir_write(dir, idx);
+        self.log_inode_write(ino);
+        self.log_inode_write(dir);
+        Ok(ino)
+    }
+
+    /// Creates a directory (placed in the emptiest group).
+    pub fn mkdir(&mut self, path: &str, now: Nanos) -> OsResult<Ino> {
+        let (dir, name) = self.resolve_parent(path)?;
+        let entries = self.inodes[&dir].entries.as_ref().expect("checked dir");
+        if entries.iter().any(|(n, _)| n == name) {
+            return Err(OsError::AlreadyExists);
+        }
+        let group = self.emptiest_group();
+        let (ino, actual_group) = self.alloc_ino(group)?;
+        self.inodes.insert(
+            ino,
+            Inode {
+                ino,
+                is_dir: true,
+                size: 0,
+                blocks: Vec::new(),
+                atime: now,
+                mtime: now,
+                entries: Some(Vec::new()),
+                group: actual_group,
+            },
+        );
+        self.grow_dir(ino)?;
+        let name = name.to_string();
+        let dir_inode = self.inodes.get_mut(&dir).expect("checked dir");
+        let idx = {
+            let entries = dir_inode.entries.as_mut().expect("checked dir");
+            entries.push((name, ino));
+            entries.len() - 1
+        };
+        dir_inode.mtime = now;
+        self.grow_dir(dir)?;
+        self.log_dir_write(dir, idx);
+        self.log_inode_write(ino);
+        Ok(ino)
+    }
+
+    /// Lists a directory's names in creation (directory) order.
+    pub fn list_dir(&mut self, path: &str) -> OsResult<Vec<String>> {
+        let ino = self.resolve(path)?;
+        let inode = self.inodes.get(&ino).ok_or(OsError::NotFound)?;
+        let entries = inode.entries.as_ref().ok_or(OsError::NotADirectory)?;
+        let names: Vec<String> = entries.iter().map(|(n, _)| n.clone()).collect();
+        self.log_dir_read(ino, names.len());
+        Ok(names)
+    }
+
+    /// Unlinks a regular file, freeing its inode and blocks. Returns its
+    /// i-number so the kernel can purge cached pages.
+    pub fn unlink(&mut self, path: &str, now: Nanos) -> OsResult<Ino> {
+        let (dir, name) = self.resolve_parent(path)?;
+        let entries = self.inodes[&dir].entries.as_ref().expect("checked dir");
+        let idx = entries
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or(OsError::NotFound)?;
+        let ino = entries[idx].1;
+        if self.inodes[&ino].is_dir {
+            return Err(OsError::IsADirectory);
+        }
+        let dir_inode = self.inodes.get_mut(&dir).expect("checked dir");
+        dir_inode.entries.as_mut().expect("checked dir").remove(idx);
+        dir_inode.mtime = now;
+        let inode = self.inodes.remove(&ino).expect("present");
+        for block in inode.blocks {
+            self.free_data_block(block);
+        }
+        let g = (ino / self.params.inodes_per_group) as usize;
+        self.groups[g].free_inos.insert(ino);
+        self.log_dir_write(dir, idx);
+        self.log_inode_write(ino);
+        Ok(ino)
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, path: &str, now: Nanos) -> OsResult<Ino> {
+        let (dir, name) = self.resolve_parent(path)?;
+        let entries = self.inodes[&dir].entries.as_ref().expect("checked dir");
+        let idx = entries
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or(OsError::NotFound)?;
+        let ino = entries[idx].1;
+        {
+            let target = self.inodes.get(&ino).ok_or(OsError::NotFound)?;
+            let target_entries = target.entries.as_ref().ok_or(OsError::NotADirectory)?;
+            if !target_entries.is_empty() {
+                return Err(OsError::NotEmpty);
+            }
+        }
+        let dir_inode = self.inodes.get_mut(&dir).expect("checked dir");
+        dir_inode.entries.as_mut().expect("checked dir").remove(idx);
+        dir_inode.mtime = now;
+        let inode = self.inodes.remove(&ino).expect("present");
+        for block in inode.blocks {
+            self.free_data_block(block);
+        }
+        let g = (ino / self.params.inodes_per_group) as usize;
+        self.groups[g].free_inos.insert(ino);
+        self.log_dir_write(dir, idx);
+        Ok(ino)
+    }
+
+    /// Renames a file or directory. Layout (inode, blocks) is untouched —
+    /// only directory entries move, matching UNIX `rename(2)`.
+    pub fn rename(&mut self, from: &str, to: &str, now: Nanos) -> OsResult<()> {
+        let (fdir, fname) = self.resolve_parent(from)?;
+        let fidx = self.inodes[&fdir]
+            .entries
+            .as_ref()
+            .expect("checked dir")
+            .iter()
+            .position(|(n, _)| n == fname)
+            .ok_or(OsError::NotFound)?;
+        let ino = self.inodes[&fdir].entries.as_ref().expect("checked dir")[fidx].1;
+        let (tdir, tname) = self.resolve_parent(to)?;
+        if self.inodes[&tdir]
+            .entries
+            .as_ref()
+            .expect("checked dir")
+            .iter()
+            .any(|(n, _)| n == tname)
+        {
+            return Err(OsError::AlreadyExists);
+        }
+        let tname = tname.to_string();
+        {
+            let fdir_inode = self.inodes.get_mut(&fdir).expect("checked dir");
+            fdir_inode.entries.as_mut().expect("checked dir").remove(fidx);
+            fdir_inode.mtime = now;
+        }
+        let idx = {
+            let tdir_inode = self.inodes.get_mut(&tdir).expect("checked dir");
+            let entries = tdir_inode.entries.as_mut().expect("checked dir");
+            entries.push((tname, ino));
+            tdir_inode.mtime = now;
+            tdir_inode.entries.as_ref().expect("checked dir").len() - 1
+        };
+        self.grow_dir(tdir)?;
+        self.log_dir_write(fdir, fidx);
+        self.log_dir_write(tdir, idx);
+        Ok(())
+    }
+
+    /// Sets access/modification times.
+    pub fn set_times(&mut self, path: &str, atime: Nanos, mtime: Nanos) -> OsResult<()> {
+        let ino = self.resolve(path)?;
+        let inode = self.inodes.get_mut(&ino).ok_or(OsError::NotFound)?;
+        inode.atime = atime;
+        inode.mtime = mtime;
+        self.log_inode_write(ino);
+        Ok(())
+    }
+
+    // --- Data paths --------------------------------------------------------
+
+    /// The data block backing `page` of `ino`, if allocated.
+    pub fn block_of(&self, ino: Ino, page: u64) -> Option<u64> {
+        self.inodes
+            .get(&ino)
+            .and_then(|i| i.blocks.get(page as usize))
+            .copied()
+    }
+
+    /// Allocates (if needed) the data block for `page` of `ino`, extending
+    /// the file. Intervening holes are allocated too (no sparse files).
+    pub fn ensure_block(&mut self, ino: Ino, page: u64) -> OsResult<u64> {
+        let (group, mut last) = {
+            let inode = self.inodes.get(&ino).ok_or(OsError::NotFound)?;
+            if let Some(&b) = inode.blocks.get(page as usize) {
+                return Ok(b);
+            }
+            (inode.group, inode.blocks.last().copied())
+        };
+        let mut allocated = Vec::new();
+        let have = self.inodes[&ino].blocks.len() as u64;
+        for _ in have..=page {
+            let near = last.map(|b| b + 1);
+            let b = self.alloc_data_block(group, near)?;
+            allocated.push(b);
+            last = Some(b);
+        }
+        let block = {
+            let inode = self.inodes.get_mut(&ino).expect("checked above");
+            inode.blocks.extend_from_slice(&allocated);
+            *inode.blocks.get(page as usize).expect("just allocated")
+        };
+        self.log_inode_write(ino);
+        Ok(block)
+    }
+
+    /// Updates file size and mtime after a write.
+    pub fn note_write(&mut self, ino: Ino, end_offset: u64, now: Nanos) -> OsResult<()> {
+        let inode = self.inodes.get_mut(&ino).ok_or(OsError::NotFound)?;
+        if end_offset > inode.size {
+            inode.size = end_offset;
+        }
+        inode.mtime = now;
+        self.log_inode_write(ino);
+        Ok(())
+    }
+
+    /// Updates atime after a read.
+    pub fn note_read(&mut self, ino: Ino, now: Nanos) -> OsResult<()> {
+        let inode = self.inodes.get_mut(&ino).ok_or(OsError::NotFound)?;
+        inode.atime = now;
+        Ok(())
+    }
+
+    /// Copies stored content of `disk_block` into `buf` (which must be
+    /// positioned at `offset` within the block).
+    pub fn read_content(&self, disk_block: u64, offset: u64, buf: &mut [u8]) {
+        match self.content.get(&disk_block) {
+            Some(BlockContent::Data(data)) => {
+                let start = offset as usize;
+                let end = (start + buf.len()).min(data.len());
+                if start < end {
+                    buf[..end - start].copy_from_slice(&data[start..end]);
+                }
+                if end - start < buf.len() {
+                    for b in &mut buf[end - start..] {
+                        *b = 0;
+                    }
+                }
+            }
+            Some(BlockContent::Fill(pattern)) => buf.fill(*pattern),
+            None => buf.fill(0),
+        }
+    }
+
+    /// Stores written bytes into `disk_block` at `offset`.
+    pub fn write_content(&mut self, disk_block: u64, offset: u64, data: &[u8]) {
+        let block_size = self.params.block_size as usize;
+        let entry = self
+            .content
+            .entry(disk_block)
+            .and_modify(|c| {
+                if let BlockContent::Fill(p) = *c {
+                    *c = BlockContent::Data(vec![p; block_size].into_boxed_slice());
+                }
+            })
+            .or_insert_with(|| BlockContent::Data(vec![0; block_size].into_boxed_slice()));
+        let BlockContent::Data(bytes) = entry else {
+            unreachable!("fill was converted above");
+        };
+        let start = offset as usize;
+        let end = (start + data.len()).min(block_size);
+        bytes[start..end].copy_from_slice(&data[..end - start]);
+    }
+
+    /// Marks `disk_block` as synthetic fill (cheap bulk data).
+    pub fn fill_content(&mut self, disk_block: u64) {
+        let pattern = self.next_fill;
+        self.next_fill = self.next_fill.wrapping_add(1).max(1);
+        self.content.insert(disk_block, BlockContent::Fill(pattern));
+    }
+
+    /// Free space in bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| g.free_blocks.len() as u64)
+            .sum::<u64>()
+            * self.params.block_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FsParams;
+
+    fn fs() -> Fs {
+        // 2 groups of (32 itable + 4096 data) blocks.
+        Fs::new(FsParams::default(), 0, 2 * (32 + 4096))
+    }
+
+    #[test]
+    fn root_exists_and_reserved_inos_are_claimed() {
+        let mut f = fs();
+        assert_eq!(f.resolve("/").unwrap(), ROOT_INO);
+        let ino = f.create("/a", Nanos::ZERO).unwrap();
+        assert!(ino > ROOT_INO, "reserved i-numbers must not be reused");
+    }
+
+    #[test]
+    fn creation_order_matches_inumber_order() {
+        let mut f = fs();
+        let a = f.create("/a", Nanos::ZERO).unwrap();
+        let b = f.create("/b", Nanos::ZERO).unwrap();
+        let c = f.create("/c", Nanos::ZERO).unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn fresh_files_get_contiguous_blocks() {
+        let mut f = fs();
+        let a = f.create("/a", Nanos::ZERO).unwrap();
+        for page in 0..4 {
+            f.ensure_block(a, page).unwrap();
+        }
+        let blocks = &f.inode(a).unwrap().blocks;
+        for w in blocks.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "blocks must be contiguous: {blocks:?}");
+        }
+    }
+
+    #[test]
+    fn consecutive_small_files_are_laid_out_in_order() {
+        let mut f = fs();
+        let mut last_block = 0;
+        for i in 0..10 {
+            let ino = f.create(&format!("/f{i}"), Nanos::ZERO).unwrap();
+            let b = f.ensure_block(ino, 0).unwrap();
+            assert!(b > last_block || last_block == 0, "layout order broken");
+            last_block = b;
+        }
+    }
+
+    #[test]
+    fn deletion_and_recreation_decorrelates_layout() {
+        let mut f = fs();
+        let mut blocks = Vec::new();
+        for i in 0..10 {
+            let ino = f.create(&format!("/f{i}"), Nanos::ZERO).unwrap();
+            f.ensure_block(ino, 0).unwrap();
+            blocks.push(f.inode(ino).unwrap().blocks[0]);
+        }
+        // Delete an early file; a new file reuses its low i-number, but
+        // the rotor places its data *after* the latest allocations — the
+        // i-number/layout correlation breaks (FFS aging).
+        f.unlink("/f2", Nanos::ZERO).unwrap();
+        let ino_new = f.create("/fnew", Nanos::ZERO).unwrap();
+        let b_new = f.ensure_block(ino_new, 0).unwrap();
+        assert!(
+            b_new > *blocks.last().unwrap(),
+            "rotor must not immediately refill the hole: {b_new} vs {blocks:?}"
+        );
+    }
+
+    #[test]
+    fn directories_spread_to_emptiest_group() {
+        let mut f = fs();
+        f.mkdir("/d1", Nanos::ZERO).unwrap();
+        let d1 = f.resolve("/d1").unwrap();
+        // Group 0 hosts root + d1's entry load; a fresh directory should
+        // land in group 1 (more free inodes).
+        assert_eq!(f.inode(d1).unwrap().group, 1);
+    }
+
+    #[test]
+    fn files_follow_their_directory_group() {
+        let mut f = fs();
+        f.mkdir("/d", Nanos::ZERO).unwrap();
+        let d = f.resolve("/d").unwrap();
+        let file = f.create("/d/x", Nanos::ZERO).unwrap();
+        assert_eq!(f.inode(file).unwrap().group, f.inode(d).unwrap().group);
+    }
+
+    #[test]
+    fn list_dir_is_creation_order() {
+        let mut f = fs();
+        for name in ["z", "a", "m"] {
+            f.create(&format!("/{name}"), Nanos::ZERO).unwrap();
+        }
+        assert_eq!(f.list_dir("/").unwrap(), vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn unlink_frees_ino_and_blocks() {
+        let mut f = fs();
+        let a = f.create("/a", Nanos::ZERO).unwrap();
+        let block = f.ensure_block(a, 0).unwrap();
+        f.write_content(block, 0, b"data");
+        f.unlink("/a", Nanos::ZERO).unwrap();
+        assert!(f.resolve("/a").is_err());
+        // The freed i-number is reused by the next creation.
+        let b = f.create("/b", Nanos::ZERO).unwrap();
+        assert_eq!(a, b);
+        // Content of the freed block is gone.
+        let mut buf = [1u8; 4];
+        f.read_content(block, 0, &mut buf);
+        assert_eq!(buf, [0u8; 4]);
+    }
+
+    #[test]
+    fn rename_preserves_ino_and_blocks() {
+        let mut f = fs();
+        let a = f.create("/a", Nanos::ZERO).unwrap();
+        let block = f.ensure_block(a, 0).unwrap();
+        f.rename("/a", "/b", Nanos::ZERO).unwrap();
+        assert_eq!(f.resolve("/b").unwrap(), a);
+        assert_eq!(f.block_of(a, 0), Some(block));
+        assert!(f.resolve("/a").is_err());
+    }
+
+    #[test]
+    fn rmdir_rejects_nonempty() {
+        let mut f = fs();
+        f.mkdir("/d", Nanos::ZERO).unwrap();
+        f.create("/d/x", Nanos::ZERO).unwrap();
+        assert_eq!(f.rmdir("/d", Nanos::ZERO), Err(OsError::NotEmpty));
+        f.unlink("/d/x", Nanos::ZERO).unwrap();
+        f.rmdir("/d", Nanos::ZERO).unwrap();
+        assert!(f.resolve("/d").is_err());
+    }
+
+    #[test]
+    fn content_round_trips_partial_writes() {
+        let mut f = fs();
+        let a = f.create("/a", Nanos::ZERO).unwrap();
+        let block = f.ensure_block(a, 0).unwrap();
+        f.write_content(block, 10, b"hello");
+        let mut buf = [0u8; 5];
+        f.read_content(block, 10, &mut buf);
+        assert_eq!(&buf, b"hello");
+        let mut head = [9u8; 10];
+        f.read_content(block, 0, &mut head);
+        assert_eq!(head, [0u8; 10]);
+    }
+
+    #[test]
+    fn fill_then_partial_write_preserves_pattern() {
+        let mut f = fs();
+        let a = f.create("/a", Nanos::ZERO).unwrap();
+        let block = f.ensure_block(a, 0).unwrap();
+        f.fill_content(block);
+        let mut before = [0u8; 2];
+        f.read_content(block, 100, &mut before);
+        f.write_content(block, 0, b"X");
+        let mut buf = [0u8; 2];
+        f.read_content(block, 100, &mut buf);
+        assert_eq!(buf, before, "fill must survive an unrelated write");
+        let mut x = [0u8; 1];
+        f.read_content(block, 0, &mut x);
+        assert_eq!(&x, b"X");
+    }
+
+    #[test]
+    fn resolve_logs_metadata_reads() {
+        let mut f = fs();
+        f.mkdir("/d", Nanos::ZERO).unwrap();
+        f.create("/d/x", Nanos::ZERO).unwrap();
+        f.take_io();
+        f.resolve("/d/x").unwrap();
+        let io = f.take_io();
+        assert!(
+            io.reads.iter().any(|m| m.ino == ITABLE_INO),
+            "inode reads must be logged: {io:?}"
+        );
+        assert!(
+            io.reads.iter().any(|m| m.ino != ITABLE_INO),
+            "directory reads must be logged: {io:?}"
+        );
+    }
+
+    #[test]
+    fn adjacent_inodes_share_an_itable_block() {
+        let mut f = fs();
+        let a = f.create("/a", Nanos::ZERO).unwrap();
+        let b = f.create("/b", Nanos::ZERO).unwrap();
+        assert_eq!(
+            f.inode_disk_block(a),
+            f.inode_disk_block(b),
+            "32 inodes per block means consecutive files share one"
+        );
+    }
+
+    #[test]
+    fn no_space_is_reported() {
+        // Tiny FS: 1 group, 8 data blocks.
+        let params = FsParams {
+            blocks_per_group: 8,
+            inodes_per_group: 32,
+            ..FsParams::default()
+        };
+        let mut f = Fs::new(params, 0, 9);
+        let a = f.create("/a", Nanos::ZERO).unwrap();
+        let mut page = 0;
+        let err = loop {
+            match f.ensure_block(a, page) {
+                Ok(_) => page += 1,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, OsError::NoSpace);
+    }
+
+    #[test]
+    fn ensure_block_fills_holes_densely() {
+        let mut f = fs();
+        let a = f.create("/a", Nanos::ZERO).unwrap();
+        f.ensure_block(a, 3).unwrap();
+        assert_eq!(f.inode(a).unwrap().blocks.len(), 4);
+    }
+
+    #[test]
+    fn free_bytes_decreases_on_allocation() {
+        let mut f = fs();
+        let before = f.free_bytes();
+        let a = f.create("/a", Nanos::ZERO).unwrap();
+        f.ensure_block(a, 0).unwrap();
+        assert!(f.free_bytes() < before);
+    }
+}

@@ -1,0 +1,1117 @@
+//! The simulated kernel: syscall semantics, cost charging, and the glue
+//! between file systems, the page cache, the VM, and the disks.
+//!
+//! Each mounted disk hosts one FFS-like file system: disk 0 at `/`, disk
+//! *i* at `/d<i>`. The swap area occupies the top quarter of the configured
+//! swap disk (the file system on that disk gets the rest), so swap I/O
+//! contends with file I/O exactly when the configuration says it should.
+//!
+//! Costs are charged to the calling process's local clock: CPU work runs on
+//! the [`crate::clock::CpuBank`] (with seeded noise), disk work queues FCFS
+//! on the owning [`crate::disk::Disk`]. Dirty evictions are charged
+//! *synchronously* to the process that forced them — the direct-reclaim
+//! behavior that makes memory pressure visible to MAC's probes.
+
+use std::collections::HashMap;
+
+use graybox::os::{Fd, OsError, OsResult, Stat};
+use gray_toolbox::{GrayDuration, Nanos};
+
+use crate::cache::{Evicted, Owner, PageCache, PageId};
+use crate::clock::{CpuBank, Noise};
+use crate::config::SimConfig;
+use crate::disk::Disk;
+use crate::fs::{Fs, Ino, ITABLE_INO};
+use crate::vm::{TouchKind, Vm};
+
+/// Cost of reading the high-resolution timer.
+const TIMER_READ: GrayDuration = GrayDuration(40);
+
+/// Initial readahead window in pages.
+const RA_INITIAL: u64 = 4;
+
+/// Kernel-wide event counters (oracle / debugging).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Demand-zero page faults.
+    pub zero_faults: u64,
+    /// Pages read back from swap.
+    pub swap_ins: u64,
+    /// Pages written to swap.
+    pub swap_outs: u64,
+    /// File pages read from disk.
+    pub file_page_reads: u64,
+    /// File pages written to disk.
+    pub file_page_writes: u64,
+    /// File-cache hits.
+    pub cache_hits: u64,
+    /// File-cache misses.
+    pub cache_misses: u64,
+}
+
+/// Per-open-file state.
+#[derive(Debug, Clone, Copy)]
+struct OpenFile {
+    dev: usize,
+    ino: Ino,
+    /// Next page a sequential reader would touch.
+    next_seq_page: u64,
+    /// Current readahead window in pages.
+    ra_window: u64,
+}
+
+/// One process's clock.
+#[derive(Debug, Clone, Copy)]
+struct ProcClock {
+    now: Nanos,
+    live: bool,
+}
+
+/// The simulated kernel. Use through [`crate::Sim`]; the methods here take
+/// an explicit `pid` because the executor hands each process a handle bound
+/// to one.
+#[derive(Debug)]
+pub struct Kernel {
+    cfg: SimConfig,
+    cpus: CpuBank,
+    noise: Noise,
+    disks: Vec<Disk>,
+    fss: Vec<Fs>,
+    cache: PageCache,
+    vm: Vm,
+    /// First disk block of the swap area on the swap disk.
+    swap_base: u64,
+    /// Which disk swap lives on.
+    swap_disk: usize,
+    procs: Vec<ProcClock>,
+    fdt: Vec<HashMap<u32, OpenFile>>,
+    next_fd: Vec<u32>,
+    stats: KernelStats,
+}
+
+impl Kernel {
+    /// Boots a kernel from a validated configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate();
+        let mut disks: Vec<Disk> = cfg
+            .disks
+            .iter()
+            .map(|d| Disk::new(*d, cfg.page_size))
+            .collect();
+        let mut fss = Vec::with_capacity(disks.len());
+        let mut swap_base = 0;
+        for (i, disk) in disks.iter_mut().enumerate() {
+            let blocks = if i == cfg.swap_disk {
+                let fs_blocks = disk.blocks() / 4 * 3;
+                swap_base = fs_blocks;
+                fs_blocks
+            } else {
+                disk.blocks()
+            };
+            fss.push(Fs::new(cfg.fs, i as u32, blocks));
+        }
+        let swap_slots = disks[cfg.swap_disk].blocks() - swap_base;
+        let cache = PageCache::new(cfg.cache_arch(), cfg.usable_pages(), cfg.page_size);
+        Kernel {
+            cpus: CpuBank::new(cfg.cpus),
+            noise: Noise::new(cfg.noise, cfg.seed),
+            disks,
+            fss,
+            cache,
+            vm: Vm::new(swap_slots),
+            swap_base,
+            swap_disk: cfg.swap_disk,
+            procs: Vec::new(),
+            fdt: Vec::new(),
+            next_fd: Vec::new(),
+            stats: KernelStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration the kernel was booted with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    // --- Process lifecycle (used by the executor) -----------------------
+
+    /// Registers a process starting at `start`; returns its pid.
+    pub fn add_proc(&mut self, start: Nanos) -> usize {
+        self.procs.push(ProcClock {
+            now: start,
+            live: true,
+        });
+        self.fdt.push(HashMap::new());
+        self.next_fd.push(3);
+        self.procs.len() - 1
+    }
+
+    /// Marks a process finished.
+    pub fn finish_proc(&mut self, pid: usize) {
+        self.procs[pid].live = false;
+        self.fdt[pid].clear();
+    }
+
+    /// A process's local clock (exact, unquantized).
+    pub fn proc_time(&self, pid: usize) -> Nanos {
+        self.procs[pid].now
+    }
+
+    /// Whether the process is live.
+    pub fn proc_live(&self, pid: usize) -> bool {
+        self.procs[pid].live
+    }
+
+    /// The latest local time across all processes (experiment epilogue).
+    pub fn max_time(&self) -> Nanos {
+        self.procs
+            .iter()
+            .map(|p| p.now)
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    // --- Charging helpers -------------------------------------------------
+
+    fn charge_cpu(&mut self, pid: usize, d: GrayDuration) {
+        let d = self.noise.apply(d);
+        self.procs[pid].now = self.cpus.run(self.procs[pid].now, d);
+    }
+
+    /// Synchronous disk transfer charged to `pid`.
+    fn disk_io(&mut self, pid: usize, dev: usize, block: u64, nblocks: u64) {
+        let now = self.procs[pid].now;
+        let done = self.disks[dev].transfer(now, block, nblocks);
+        self.procs[pid].now = done;
+    }
+
+    /// Handles cache evictions: dirty file pages are written back to their
+    /// homes, dirty anonymous pages to swap; clean pages just vanish.
+    fn handle_evictions(&mut self, pid: usize, evicted: Vec<Evicted>) -> OsResult<()> {
+        for e in evicted {
+            if !e.dirty {
+                continue;
+            }
+            match e.id.owner {
+                Owner::File { dev, ino } => {
+                    let dev = dev as usize;
+                    let block = if ino == ITABLE_INO {
+                        // Inode-table pages are cached by disk block.
+                        Some(e.id.page)
+                    } else {
+                        self.fss[dev].block_of(ino, e.id.page)
+                    };
+                    if let Some(block) = block {
+                        self.disk_io(pid, dev, block, 1);
+                        self.stats.file_page_writes += 1;
+                    }
+                }
+                Owner::Anon { region } => {
+                    if !self.vm.region_exists(region) {
+                        continue; // Region died; drop the page.
+                    }
+                    let slot = self.vm.ensure_slot(region, e.id.page)?;
+                    self.disk_io(pid, self.swap_disk, self.swap_base + slot, 1);
+                    self.stats.swap_outs += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges the metadata I/O a file-system operation performed.
+    fn charge_meta(&mut self, pid: usize, dev: usize) -> OsResult<()> {
+        let io = self.fss[dev].take_io();
+        for r in io.reads {
+            let id = PageId {
+                owner: Owner::File {
+                    dev: dev as u32,
+                    ino: r.ino,
+                },
+                page: r.page,
+            };
+            if self.cache.lookup_touch(id) {
+                self.charge_cpu(pid, self.cfg.costs.page_lookup);
+            } else {
+                self.disk_io(pid, dev, r.disk_block, 1);
+                let ev = self.cache.insert(id, false);
+                self.handle_evictions(pid, ev)?;
+                self.charge_cpu(pid, self.cfg.costs.page_lookup);
+            }
+        }
+        for w in io.writes {
+            let id = PageId {
+                owner: Owner::File {
+                    dev: dev as u32,
+                    ino: w.ino,
+                },
+                page: w.page,
+            };
+            let ev = self.cache.insert(id, true);
+            self.handle_evictions(pid, ev)?;
+            self.charge_cpu(pid, self.cfg.costs.page_lookup);
+        }
+        Ok(())
+    }
+
+    // --- Mount resolution ---------------------------------------------------
+
+    /// Splits a path into `(disk index, fs-local path)`.
+    fn mount_of(&self, path: &str) -> OsResult<(usize, String)> {
+        if !path.starts_with('/') {
+            return Err(OsError::InvalidArgument);
+        }
+        if self.disks.len() > 1 {
+            if let Some(rest) = path.strip_prefix("/d") {
+                let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+                if !digits.is_empty() {
+                    let after = &rest[digits.len()..];
+                    if after.is_empty() || after.starts_with('/') {
+                        let idx: usize =
+                            digits.parse().map_err(|_| OsError::InvalidArgument)?;
+                        if idx == 0 || idx >= self.disks.len() {
+                            return Err(OsError::NotFound);
+                        }
+                        let local = if after.is_empty() { "/" } else { after };
+                        return Ok((idx, local.to_string()));
+                    }
+                }
+            }
+        }
+        Ok((0, path.to_string()))
+    }
+
+    // --- Syscalls -------------------------------------------------------------
+
+    /// The high-resolution clock, with read cost and quantization.
+    pub fn sys_now(&mut self, pid: usize) -> Nanos {
+        self.charge_cpu(pid, TIMER_READ);
+        self.noise.quantize(self.procs[pid].now)
+    }
+
+    /// The VM page size.
+    pub fn page_size(&self) -> u64 {
+        self.cfg.page_size
+    }
+
+    /// Opens an existing file.
+    pub fn sys_open(&mut self, pid: usize, path: &str) -> OsResult<Fd> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        let (dev, local) = self.mount_of(path)?;
+        let ino = {
+            let r = self.fss[dev].resolve(&local);
+            self.charge_meta(pid, dev)?;
+            r?
+        };
+        if self.fss[dev].inode(ino).is_some_and(|i| i.is_dir) {
+            return Err(OsError::IsADirectory);
+        }
+        let fd = self.alloc_fd(pid, dev, ino);
+        Ok(fd)
+    }
+
+    /// Creates and opens a new file.
+    pub fn sys_create(&mut self, pid: usize, path: &str) -> OsResult<Fd> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        let (dev, local) = self.mount_of(path)?;
+        let now = self.procs[pid].now;
+        let ino = {
+            let r = self.fss[dev].create(&local, now);
+            self.charge_meta(pid, dev)?;
+            r?
+        };
+        Ok(self.alloc_fd(pid, dev, ino))
+    }
+
+    fn alloc_fd(&mut self, pid: usize, dev: usize, ino: Ino) -> Fd {
+        let fd = self.next_fd[pid];
+        self.next_fd[pid] += 1;
+        self.fdt[pid].insert(
+            fd,
+            OpenFile {
+                dev,
+                ino,
+                next_seq_page: 0,
+                ra_window: RA_INITIAL,
+            },
+        );
+        Fd(fd)
+    }
+
+    /// Closes a descriptor.
+    pub fn sys_close(&mut self, pid: usize, fd: Fd) -> OsResult<()> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        self.fdt[pid].remove(&fd.0).map(|_| ()).ok_or(OsError::BadFd)
+    }
+
+    /// `pread`-style read. When `buf` is `None`, behaves identically
+    /// (including cache effects and CPU copy charges) but discards data.
+    pub fn sys_read(
+        &mut self,
+        pid: usize,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+        mut buf: Option<&mut [u8]>,
+    ) -> OsResult<u64> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        let of = *self.fdt[pid].get(&fd.0).ok_or(OsError::BadFd)?;
+        let size = self.fss[of.dev]
+            .inode(of.ino)
+            .ok_or(OsError::NotFound)?
+            .size;
+        if offset >= size || len == 0 {
+            return Ok(0);
+        }
+        let len = len.min(size - offset);
+        let page_size = self.cfg.page_size;
+        let first_page = offset / page_size;
+        let last_page = (offset + len - 1) / page_size;
+
+        // Sequential-read detection feeds the readahead window.
+        let mut window = if first_page == of.next_seq_page {
+            (of.ra_window * 2).min(self.cfg.readahead_pages)
+        } else {
+            RA_INITIAL
+        };
+
+        let file_pages = size.div_ceil(page_size);
+        let mut cpu = GrayDuration::ZERO;
+        let mut page = first_page;
+        // Pages below `run_end` were fetched by this call's own readahead:
+        // consuming them is part of the same logical access, so they are
+        // *not* re-referenced (otherwise a single sequential scan would
+        // mark everything referenced and scan-resistant policies could
+        // never tell streams from reuse).
+        let mut run_end = first_page;
+        while page <= last_page {
+            let id = PageId {
+                owner: Owner::File {
+                    dev: of.dev as u32,
+                    ino: of.ino,
+                },
+                page,
+            };
+            // Pages below `run_end` came from this call's own readahead
+            // and are not re-referenced (one sequential access = one
+            // reference); genuine hits bump the LRU position.
+            if page < run_end || self.cache.lookup_touch(id) {
+                self.stats.cache_hits += 1;
+                cpu += self.cfg.costs.page_lookup;
+            } else {
+                self.stats.cache_misses += 1;
+                // Fetch a readahead run: contiguous on disk, not cached,
+                // within the file and the window.
+                let run = self.plan_fetch_run(of.dev, of.ino, page, file_pages, window);
+                let start_block = self.fss[of.dev]
+                    .ensure_block(of.ino, page)?;
+                // Metadata I/O from block mapping (indirect blocks are
+                // folded into the inode cost model).
+                self.fss[of.dev].take_io();
+                self.disk_io(pid, of.dev, start_block, run);
+                for k in 0..run {
+                    let rid = PageId {
+                        owner: Owner::File {
+                            dev: of.dev as u32,
+                            ino: of.ino,
+                        },
+                        page: page + k,
+                    };
+                    let ev = self.cache.insert(rid, false);
+                    self.handle_evictions(pid, ev)?;
+                }
+                self.stats.file_page_reads += run;
+                run_end = page + run;
+                window = (window * 2).min(self.cfg.readahead_pages);
+                cpu += self.cfg.costs.page_lookup;
+            }
+            // Copy the requested fraction of this page to the user.
+            let page_start = page * page_size;
+            let copy_from = offset.max(page_start);
+            let copy_to = (offset + len).min(page_start + page_size);
+            let bytes = copy_to - copy_from;
+            cpu += self
+                .cfg
+                .costs
+                .copy_per_page
+                .mul_f64(bytes as f64 / page_size as f64);
+            if let Some(out) = buf.as_deref_mut() {
+                if let Some(disk_block) = self.fss[of.dev].block_of(of.ino, page) {
+                    let dst_start = (copy_from - offset) as usize;
+                    let dst = &mut out[dst_start..dst_start + bytes as usize];
+                    self.fss[of.dev].read_content(disk_block, copy_from - page_start, dst);
+                }
+            }
+            page += 1;
+        }
+        self.charge_cpu(pid, cpu);
+        let now = self.procs[pid].now;
+        self.fss[of.dev].note_read(of.ino, now)?;
+        // Update sequential state.
+        let entry = self.fdt[pid].get_mut(&fd.0).expect("checked above");
+        entry.ra_window = window;
+        entry.next_seq_page = last_page + 1;
+        Ok(len)
+    }
+
+    /// Longest run of pages starting at `page` that is contiguous on disk,
+    /// uncached, within the file, and at most `window` long.
+    fn plan_fetch_run(
+        &mut self,
+        dev: usize,
+        ino: Ino,
+        page: u64,
+        file_pages: u64,
+        window: u64,
+    ) -> u64 {
+        let mut run = 1u64;
+        let Some(first) = self.fss[dev].block_of(ino, page) else {
+            return 1;
+        };
+        while run < window && page + run < file_pages {
+            let id = PageId {
+                owner: Owner::File {
+                    dev: dev as u32,
+                    ino,
+                },
+                page: page + run,
+            };
+            if self.cache.contains(id) {
+                break;
+            }
+            match self.fss[dev].block_of(ino, page + run) {
+                Some(b) if b == first + run => run += 1,
+                _ => break,
+            }
+        }
+        run
+    }
+
+    /// `pwrite`-style write; `data` of `None` means "fill with synthetic
+    /// bytes" (bulk data that costs no host memory).
+    pub fn sys_write(
+        &mut self,
+        pid: usize,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+        data: Option<&[u8]>,
+    ) -> OsResult<u64> {
+        if let Some(d) = data {
+            debug_assert_eq!(d.len() as u64, len);
+        }
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        if len == 0 {
+            return Ok(0);
+        }
+        let of = *self.fdt[pid].get(&fd.0).ok_or(OsError::BadFd)?;
+        let page_size = self.cfg.page_size;
+        let first_page = offset / page_size;
+        let last_page = (offset + len - 1) / page_size;
+        let mut cpu = GrayDuration::ZERO;
+        for page in first_page..=last_page {
+            let disk_block = {
+                let existed = self.fss[of.dev].block_of(of.ino, page).is_some();
+                let r = if existed
+                    && self.fss[of.dev].layout() == crate::config::LayoutPolicy::Lfs
+                {
+                    // LFS: overwrites append at the log head.
+                    self.fss[of.dev].relocate_block(of.ino, page)
+                } else {
+                    self.fss[of.dev].ensure_block(of.ino, page)
+                };
+                self.charge_meta(pid, of.dev)?;
+                r?
+            };
+            let page_start = page * page_size;
+            let copy_from = offset.max(page_start);
+            let copy_to = (offset + len).min(page_start + page_size);
+            let bytes = copy_to - copy_from;
+            // A partial overwrite of an uncached page must read it first
+            // (read-modify-write).
+            let id = PageId {
+                owner: Owner::File {
+                    dev: of.dev as u32,
+                    ino: of.ino,
+                },
+                page,
+            };
+            let whole_page = bytes == page_size;
+            if !self.cache.lookup_touch(id) && !whole_page {
+                let within_old_size =
+                    page_start < self.fss[of.dev].inode(of.ino).map(|i| i.size).unwrap_or(0);
+                if within_old_size {
+                    self.disk_io(pid, of.dev, disk_block, 1);
+                    self.stats.file_page_reads += 1;
+                }
+            }
+            let ev = self.cache.insert(id, true);
+            self.handle_evictions(pid, ev)?;
+            match data {
+                Some(d) => {
+                    let src_start = (copy_from - offset) as usize;
+                    let src = &d[src_start..src_start + bytes as usize];
+                    self.fss[of.dev].write_content(disk_block, copy_from - page_start, src);
+                }
+                None => {
+                    self.fss[of.dev].fill_content(disk_block);
+                }
+            }
+            cpu += self
+                .cfg
+                .costs
+                .copy_per_page
+                .mul_f64(bytes as f64 / page_size as f64);
+        }
+        self.charge_cpu(pid, cpu);
+        let now = self.procs[pid].now;
+        self.fss[of.dev].note_write(of.ino, offset + len, now)?;
+        self.charge_meta(pid, of.dev)?;
+        Ok(len)
+    }
+
+    /// Size of an open file.
+    pub fn sys_file_size(&mut self, pid: usize, fd: Fd) -> OsResult<u64> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        let of = self.fdt[pid].get(&fd.0).ok_or(OsError::BadFd)?;
+        Ok(self.fss[of.dev]
+            .inode(of.ino)
+            .ok_or(OsError::NotFound)?
+            .size)
+    }
+
+    /// Writes back every dirty page (`sync(2)`), charged to the caller.
+    pub fn sys_sync(&mut self, pid: usize) -> OsResult<()> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        let dirty = self.cache.dirty_pages();
+        for id in dirty {
+            match id.owner {
+                Owner::File { dev, ino } => {
+                    let dev = dev as usize;
+                    let block = if ino == ITABLE_INO {
+                        Some(id.page)
+                    } else {
+                        self.fss[dev].block_of(ino, id.page)
+                    };
+                    if let Some(block) = block {
+                        self.disk_io(pid, dev, block, 1);
+                        self.stats.file_page_writes += 1;
+                    }
+                    self.cache.clean(id);
+                }
+                Owner::Anon { .. } => {
+                    // sync(2) does not touch anonymous memory.
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `stat(2)`.
+    pub fn sys_stat(&mut self, pid: usize, path: &str) -> OsResult<Stat> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        let (dev, local) = self.mount_of(path)?;
+        let ino = {
+            let r = self.fss[dev].resolve(&local);
+            self.charge_meta(pid, dev)?;
+            r?
+        };
+        let inode = self.fss[dev].inode(ino).ok_or(OsError::NotFound)?;
+        Ok(Stat {
+            ino,
+            dev: dev as u64,
+            size: inode.size,
+            is_dir: inode.is_dir,
+            atime: inode.atime,
+            mtime: inode.mtime,
+        })
+    }
+
+    /// Lists a directory in creation order.
+    pub fn sys_list_dir(&mut self, pid: usize, path: &str) -> OsResult<Vec<String>> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        let (dev, local) = self.mount_of(path)?;
+        let r = self.fss[dev].list_dir(&local);
+        self.charge_meta(pid, dev)?;
+        r
+    }
+
+    /// Creates a directory.
+    pub fn sys_mkdir(&mut self, pid: usize, path: &str) -> OsResult<()> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        let (dev, local) = self.mount_of(path)?;
+        let now = self.procs[pid].now;
+        let r = self.fss[dev].mkdir(&local, now).map(|_| ());
+        self.charge_meta(pid, dev)?;
+        r
+    }
+
+    /// Removes an empty directory.
+    pub fn sys_rmdir(&mut self, pid: usize, path: &str) -> OsResult<()> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        let (dev, local) = self.mount_of(path)?;
+        let now = self.procs[pid].now;
+        let r = self.fss[dev].rmdir(&local, now);
+        self.charge_meta(pid, dev)?;
+        let ino = r?;
+        self.purge_file_pages(dev, ino);
+        Ok(())
+    }
+
+    /// Unlinks a file.
+    pub fn sys_unlink(&mut self, pid: usize, path: &str) -> OsResult<()> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        let (dev, local) = self.mount_of(path)?;
+        let now = self.procs[pid].now;
+        let r = self.fss[dev].unlink(&local, now);
+        self.charge_meta(pid, dev)?;
+        let ino = r?;
+        self.purge_file_pages(dev, ino);
+        Ok(())
+    }
+
+    fn purge_file_pages(&mut self, dev: usize, ino: Ino) {
+        // Dropped pages of a deleted file are never written back.
+        let _ = self.cache.remove_owner(Owner::File {
+            dev: dev as u32,
+            ino,
+        });
+    }
+
+    /// Renames within one file system.
+    pub fn sys_rename(&mut self, pid: usize, from: &str, to: &str) -> OsResult<()> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        let (fdev, flocal) = self.mount_of(from)?;
+        let (tdev, tlocal) = self.mount_of(to)?;
+        if fdev != tdev {
+            return Err(OsError::Unsupported);
+        }
+        let now = self.procs[pid].now;
+        let r = self.fss[fdev].rename(&flocal, &tlocal, now);
+        self.charge_meta(pid, fdev)?;
+        r
+    }
+
+    /// Sets file times.
+    pub fn sys_set_times(
+        &mut self,
+        pid: usize,
+        path: &str,
+        atime: Nanos,
+        mtime: Nanos,
+    ) -> OsResult<()> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        let (dev, local) = self.mount_of(path)?;
+        let r = self.fss[dev].set_times(&local, atime, mtime);
+        self.charge_meta(pid, dev)?;
+        r
+    }
+
+    /// Allocates an anonymous region (address space only).
+    pub fn sys_mem_alloc(&mut self, pid: usize, bytes: u64) -> OsResult<u64> {
+        if bytes == 0 {
+            return Err(OsError::InvalidArgument);
+        }
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        Ok(self.vm.alloc(bytes.div_ceil(self.cfg.page_size)))
+    }
+
+    /// Frees a region and purges its pages.
+    pub fn sys_mem_free(&mut self, pid: usize, region: u64) -> OsResult<()> {
+        self.charge_cpu(pid, self.cfg.costs.syscall);
+        self.vm.free(region)?;
+        let _ = self.cache.remove_owner(Owner::Anon { region });
+        Ok(())
+    }
+
+    /// Write-touches one page of a region.
+    pub fn sys_mem_touch_write(&mut self, pid: usize, region: u64, page: u64) -> OsResult<()> {
+        self.vm.check(region, page)?;
+        let id = PageId {
+            owner: Owner::Anon { region },
+            page,
+        };
+        if self.cache.lookup_touch(id) {
+            self.cache.mark_dirty(id);
+            self.charge_cpu(pid, self.cfg.costs.mem_touch);
+            return Ok(());
+        }
+        match self.vm.touch_kind(region, page)? {
+            TouchKind::Untouched => {
+                self.stats.zero_faults += 1;
+                self.vm.mark_touched(region, page)?;
+                let ev = self.cache.insert(id, true);
+                self.handle_evictions(pid, ev)?;
+                self.charge_cpu(
+                    pid,
+                    self.cfg.costs.fault_overhead + self.cfg.costs.page_zero,
+                );
+            }
+            TouchKind::Swapped(slot) => {
+                self.stats.swap_ins += 1;
+                self.disk_io(pid, self.swap_disk, self.swap_base + slot, 1);
+                let ev = self.cache.insert(id, true);
+                self.handle_evictions(pid, ev)?;
+                self.charge_cpu(
+                    pid,
+                    self.cfg.costs.fault_overhead + self.cfg.costs.mem_touch,
+                );
+            }
+            TouchKind::Materialized => {
+                unreachable!("materialized page missing from cache and swap")
+            }
+        }
+        Ok(())
+    }
+
+    /// Read-touches one page of a region.
+    pub fn sys_mem_touch_read(&mut self, pid: usize, region: u64, page: u64) -> OsResult<u8> {
+        self.vm.check(region, page)?;
+        let id = PageId {
+            owner: Owner::Anon { region },
+            page,
+        };
+        if self.cache.lookup_touch(id) {
+            self.charge_cpu(pid, self.cfg.costs.mem_touch);
+            return Ok(0);
+        }
+        match self.vm.touch_kind(region, page)? {
+            TouchKind::Untouched => {
+                // Copy-on-write zero page: reads allocate nothing.
+                self.charge_cpu(pid, self.cfg.costs.mem_touch);
+            }
+            TouchKind::Swapped(slot) => {
+                self.stats.swap_ins += 1;
+                self.disk_io(pid, self.swap_disk, self.swap_base + slot, 1);
+                let ev = self.cache.insert(id, false);
+                self.handle_evictions(pid, ev)?;
+                self.charge_cpu(
+                    pid,
+                    self.cfg.costs.fault_overhead + self.cfg.costs.mem_touch,
+                );
+            }
+            TouchKind::Materialized => {
+                unreachable!("materialized page missing from cache and swap")
+            }
+        }
+        Ok(0)
+    }
+
+    /// Burns CPU time.
+    pub fn sys_compute(&mut self, pid: usize, work: GrayDuration) {
+        self.charge_cpu(pid, work);
+    }
+
+    /// Advances the process clock without consuming CPU.
+    pub fn sys_sleep(&mut self, pid: usize, d: GrayDuration) {
+        self.procs[pid].now += d;
+    }
+
+    // --- Experiment scaffolding (not part of the gray-box surface) --------
+
+    /// Drops all file pages from the cache — the "flush the file cache"
+    /// step between experimental runs. Dirty pages are written back for
+    /// free (no time charged; this models a quiescent flush between runs).
+    pub fn flush_file_cache(&mut self) {
+        let _ = self.cache.drop_file_pages();
+    }
+
+    /// Direct access to cache state (oracle).
+    pub fn cache(&self) -> &PageCache {
+        &self.cache
+    }
+
+    /// Direct access to a mounted file system (oracle).
+    pub fn fs(&self, dev: usize) -> &Fs {
+        &self.fss[dev]
+    }
+
+    /// Direct access to the VM (oracle).
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// Direct access to a disk (oracle).
+    pub fn disk(&self, dev: usize) -> &Disk {
+        &self.disks[dev]
+    }
+
+    /// Resolves a path for oracle use (mount + ino), without charging.
+    pub fn oracle_resolve(&mut self, path: &str) -> OsResult<(usize, Ino)> {
+        let (dev, local) = self.mount_of(path)?;
+        let ino = self.fss[dev].resolve(&local)?;
+        self.fss[dev].take_io();
+        Ok((dev, ino))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn kernel() -> (Kernel, usize) {
+        let mut k = Kernel::new(SimConfig::small().without_noise());
+        let pid = k.add_proc(Nanos::ZERO);
+        (k, pid)
+    }
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let (mut k, pid) = kernel();
+        let fd = k.sys_create(pid, "/f").unwrap();
+        k.sys_write(pid, fd, 0, 5, Some(b"hello")).unwrap();
+        let mut buf = [0u8; 5];
+        let n = k.sys_read(pid, fd, 0, 5, Some(&mut buf)).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(&buf, b"hello");
+        assert_eq!(k.sys_file_size(pid, fd).unwrap(), 5);
+    }
+
+    #[test]
+    fn cached_read_is_microseconds_uncached_is_milliseconds() {
+        let (mut k, pid) = kernel();
+        let fd = k.sys_create(pid, "/f").unwrap();
+        k.sys_write(pid, fd, 0, 8192, None).unwrap();
+        k.flush_file_cache();
+        let t0 = k.proc_time(pid);
+        k.sys_read(pid, fd, 0, 1, None).unwrap();
+        let cold = k.proc_time(pid).since(t0);
+        let t1 = k.proc_time(pid);
+        k.sys_read(pid, fd, 1, 1, None).unwrap();
+        let warm = k.proc_time(pid).since(t1);
+        assert!(
+            cold > GrayDuration::from_millis(1),
+            "cold 1-byte read {cold}"
+        );
+        assert!(
+            warm < GrayDuration::from_micros(20),
+            "warm 1-byte read {warm}"
+        );
+    }
+
+    #[test]
+    fn sequential_scan_approaches_disk_bandwidth() {
+        let (mut k, pid) = kernel();
+        let mb = 16u64 << 20;
+        let fd = k.sys_create(pid, "/big").unwrap();
+        let mut off = 0;
+        while off < mb {
+            k.sys_write(pid, fd, off, 1 << 20, None).unwrap();
+            off += 1 << 20;
+        }
+        k.flush_file_cache();
+        let t0 = k.proc_time(pid);
+        let mut off = 0;
+        while off < mb {
+            k.sys_read(pid, fd, off, 1 << 20, None).unwrap();
+            off += 1 << 20;
+        }
+        let elapsed = k.proc_time(pid).since(t0).as_secs_f64();
+        let rate = mb as f64 / elapsed / (1 << 20) as f64;
+        // 20 MB/s media rate; allow head-positioning and copy overheads.
+        assert!(
+            (10.0..=20.5).contains(&rate),
+            "sequential rate {rate:.1} MB/s"
+        );
+    }
+
+    #[test]
+    fn warm_rescan_is_memory_speed() {
+        let (mut k, pid) = kernel();
+        let mb = 4u64 << 20;
+        let fd = k.sys_create(pid, "/f").unwrap();
+        k.sys_write(pid, fd, 0, mb, None).unwrap();
+        // First scan warms (writes already did); second is all hits.
+        let t0 = k.proc_time(pid);
+        k.sys_read(pid, fd, 0, mb, None).unwrap();
+        let warm = k.proc_time(pid).since(t0).as_secs_f64();
+        let rate_mb = mb as f64 / warm / (1 << 20) as f64;
+        assert!(rate_mb > 200.0, "warm rate {rate_mb:.0} MB/s");
+    }
+
+    #[test]
+    fn memory_pressure_triggers_swap_and_slow_touches() {
+        let (mut k, pid) = kernel();
+        let pages = k.config().usable_pages();
+        let region = k
+            .sys_mem_alloc(pid, (pages + 100) * 4096)
+            .unwrap();
+        // Touch more pages than exist: must swap.
+        for p in 0..pages + 100 {
+            k.sys_mem_touch_write(pid, region, p).unwrap();
+        }
+        assert!(k.stats().swap_outs > 0, "no swap-outs under overcommit");
+        // Touch the first page again: it was evicted, so this is a swap-in.
+        let t0 = k.proc_time(pid);
+        k.sys_mem_touch_write(pid, region, 0).unwrap();
+        let t = k.proc_time(pid).since(t0);
+        assert!(t > GrayDuration::from_millis(1), "swap-in touch {t}");
+    }
+
+    #[test]
+    fn within_memory_touches_stay_fast() {
+        let (mut k, pid) = kernel();
+        let region = k.sys_mem_alloc(pid, 1000 * 4096).unwrap();
+        for p in 0..1000 {
+            k.sys_mem_touch_write(pid, region, p).unwrap();
+        }
+        let t0 = k.proc_time(pid);
+        for p in 0..1000 {
+            k.sys_mem_touch_write(pid, region, p).unwrap();
+        }
+        let per_touch = k.proc_time(pid).since(t0) / 1000;
+        assert!(
+            per_touch < GrayDuration::from_micros(2),
+            "resident touch {per_touch}"
+        );
+        assert_eq!(k.stats().swap_outs, 0);
+    }
+
+    #[test]
+    fn cow_read_allocates_nothing() {
+        let (mut k, pid) = kernel();
+        let region = k.sys_mem_alloc(pid, 100 * 4096).unwrap();
+        let before = k.cache().resident_pages();
+        for p in 0..100 {
+            k.sys_mem_touch_read(pid, region, p).unwrap();
+        }
+        assert_eq!(k.cache().resident_pages(), before);
+    }
+
+    #[test]
+    fn mem_free_releases_and_invalidates() {
+        let (mut k, pid) = kernel();
+        let region = k.sys_mem_alloc(pid, 10 * 4096).unwrap();
+        for p in 0..10 {
+            k.sys_mem_touch_write(pid, region, p).unwrap();
+        }
+        k.sys_mem_free(pid, region).unwrap();
+        assert_eq!(
+            k.sys_mem_touch_write(pid, region, 0),
+            Err(OsError::BadRegion)
+        );
+    }
+
+    #[test]
+    fn stat_reports_ino_and_times() {
+        let (mut k, pid) = kernel();
+        let fd = k.sys_create(pid, "/f").unwrap();
+        k.sys_write(pid, fd, 0, 100, None).unwrap();
+        let st = k.sys_stat(pid, "/f").unwrap();
+        assert_eq!(st.size, 100);
+        assert!(!st.is_dir);
+        assert!(st.ino > 2);
+    }
+
+    #[test]
+    fn second_mount_is_a_separate_tree() {
+        let (mut k, pid) = kernel();
+        k.sys_mkdir(pid, "/d1/dir").unwrap();
+        let fd = k.sys_create(pid, "/d1/dir/f").unwrap();
+        k.sys_write(pid, fd, 0, 4, Some(b"dat!")).unwrap();
+        assert!(k.sys_stat(pid, "/dir").is_err());
+        let st = k.sys_stat(pid, "/d1/dir/f").unwrap();
+        assert_eq!(st.dev, 1);
+    }
+
+    #[test]
+    fn bad_mount_is_not_found() {
+        let (mut k, pid) = kernel();
+        assert_eq!(k.sys_stat(pid, "/d7/x"), Err(OsError::NotFound));
+    }
+
+    #[test]
+    fn rename_across_mounts_is_unsupported() {
+        let (mut k, pid) = kernel();
+        k.sys_create(pid, "/f").unwrap();
+        assert_eq!(
+            k.sys_rename(pid, "/f", "/d1/f"),
+            Err(OsError::Unsupported)
+        );
+    }
+
+    #[test]
+    fn read_discard_matches_read_semantics() {
+        let (mut k, pid) = kernel();
+        let fd = k.sys_create(pid, "/f").unwrap();
+        k.sys_write(pid, fd, 0, 8192, None).unwrap();
+        k.flush_file_cache();
+        k.sys_read(pid, fd, 0, 8192, None).unwrap();
+        // Both pages must now be cached.
+        let (dev, ino) = k.oracle_resolve("/f").unwrap();
+        let resident = k.cache().resident_of(Owner::File {
+            dev: dev as u32,
+            ino,
+        });
+        assert_eq!(resident, vec![0, 1]);
+    }
+
+    #[test]
+    fn timer_reads_cost_time_and_quantize() {
+        let mut k = Kernel::new(SimConfig::small());
+        let pid = k.add_proc(Nanos::ZERO);
+        let a = k.sys_now(pid);
+        let b = k.sys_now(pid);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn partial_overwrite_of_cold_page_reads_it_first() {
+        let (mut k, pid) = kernel();
+        let fd = k.sys_create(pid, "/f").unwrap();
+        k.sys_write(pid, fd, 0, 4096, None).unwrap();
+        k.flush_file_cache();
+        let reads_before = k.stats().file_page_reads;
+        k.sys_write(pid, fd, 10, 4, Some(b"abcd")).unwrap();
+        assert_eq!(
+            k.stats().file_page_reads,
+            reads_before + 1,
+            "read-modify-write must fetch the cold page"
+        );
+    }
+
+    #[test]
+    fn mount_parsing_edge_cases() {
+        let (k, _pid) = kernel(); // Two disks: "/" and "/d1".
+        assert_eq!(k.mount_of("/plain").unwrap().0, 0);
+        assert_eq!(k.mount_of("/d1").unwrap(), (1, "/".to_string()));
+        assert_eq!(k.mount_of("/d1/x").unwrap(), (1, "/x".to_string()));
+        // "/d1abc" is a root file, not a mount.
+        assert_eq!(k.mount_of("/d1abc").unwrap().0, 0);
+        // "/d0" and out-of-range indices are not mounts.
+        assert_eq!(k.mount_of("/d0/x"), Err(OsError::NotFound));
+        assert_eq!(k.mount_of("/d9/x"), Err(OsError::NotFound));
+        assert_eq!(k.mount_of("relative"), Err(OsError::InvalidArgument));
+    }
+
+    #[test]
+    fn file_descriptors_are_process_local() {
+        let mut k = Kernel::new(SimConfig::small().without_noise());
+        let p1 = k.add_proc(Nanos::ZERO);
+        let p2 = k.add_proc(Nanos::ZERO);
+        let fd = k.sys_create(p1, "/shared").unwrap();
+        k.sys_write(p1, fd, 0, 3, Some(b"abc")).unwrap();
+        // The raw fd number means nothing in another process.
+        assert_eq!(k.sys_file_size(p2, fd), Err(OsError::BadFd));
+        // And a finished process's descriptors are gone.
+        k.finish_proc(p1);
+        let p3 = k.add_proc(Nanos::ZERO);
+        assert_eq!(k.sys_file_size(p3, fd), Err(OsError::BadFd));
+    }
+
+    #[test]
+    fn eof_reads_return_zero() {
+        let (mut k, pid) = kernel();
+        let fd = k.sys_create(pid, "/f").unwrap();
+        k.sys_write(pid, fd, 0, 10, None).unwrap();
+        assert_eq!(k.sys_read(pid, fd, 10, 5, None).unwrap(), 0);
+        assert_eq!(k.sys_read(pid, fd, 8, 100, None).unwrap(), 2);
+    }
+}

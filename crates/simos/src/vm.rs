@@ -1,0 +1,233 @@
+//! Anonymous memory: regions, demand-zero pages, and swap-slot management.
+//!
+//! Residency itself is tracked by the unified [`crate::cache`] (anonymous
+//! pages compete with file pages for frames under the Linux-like
+//! personality — the paper's "shared virtual memory/file cache"); this
+//! module tracks what the cache does not: which pages of a region have ever
+//! been touched (untouched pages are copy-on-write zero pages: *reads* of
+//! them cost nothing and allocate nothing, which is why MAC's probes must
+//! write), and which swap slot holds a page that was paged out.
+//!
+//! Swap slots are sticky: once a page gets a slot it keeps it until the
+//! region dies, so evicting a *clean* swapped-in page costs no I/O while a
+//! dirty page pays one slot write. Slots are allocated lowest-first, which
+//! clusters swap traffic — pageout streams, as real swap code strives for.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use graybox::os::{OsError, OsResult};
+
+/// State of one anonymous region.
+#[derive(Debug)]
+pub struct Region {
+    /// Size in pages.
+    pub pages: u64,
+    /// Pages that have ever been written (materialized).
+    touched: HashSet<u64>,
+    /// Swap slot per page (allocated at first page-out, kept until free).
+    slots: HashMap<u64, u64>,
+}
+
+/// The VM subsystem.
+#[derive(Debug)]
+pub struct Vm {
+    regions: HashMap<u64, Region>,
+    next_region: u64,
+    free_slots: BTreeSet<u64>,
+    total_slots: u64,
+}
+
+/// What the kernel must know about a page on touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TouchKind {
+    /// Never written: a write is a demand-zero fault, a read is a free
+    /// copy-on-write zero-page read.
+    Untouched,
+    /// Written before and currently paged out to this swap slot.
+    Swapped(u64),
+    /// Written before and not in swap — if it is not in the cache either,
+    /// that is a kernel bug.
+    Materialized,
+}
+
+impl Vm {
+    /// Creates a VM with `swap_slots` pages of swap space.
+    pub fn new(swap_slots: u64) -> Self {
+        Vm {
+            regions: HashMap::new(),
+            next_region: 1,
+            free_slots: (0..swap_slots).collect(),
+            total_slots: swap_slots,
+        }
+    }
+
+    /// Allocates a region of `pages` pages (address space only).
+    pub fn alloc(&mut self, pages: u64) -> u64 {
+        let id = self.next_region;
+        self.next_region += 1;
+        self.regions.insert(
+            id,
+            Region {
+                pages,
+                touched: HashSet::new(),
+                slots: HashMap::new(),
+            },
+        );
+        id
+    }
+
+    /// Frees a region, returning its swap slots to the pool. The caller
+    /// must separately purge the region's cached pages.
+    pub fn free(&mut self, region: u64) -> OsResult<()> {
+        let r = self.regions.remove(&region).ok_or(OsError::BadRegion)?;
+        for (_, slot) in r.slots {
+            self.free_slots.insert(slot);
+        }
+        Ok(())
+    }
+
+    /// Validates a (region, page) pair.
+    pub fn check(&self, region: u64, page: u64) -> OsResult<()> {
+        let r = self.regions.get(&region).ok_or(OsError::BadRegion)?;
+        if page >= r.pages {
+            return Err(OsError::InvalidArgument);
+        }
+        Ok(())
+    }
+
+    /// Classifies a page that was *not* found resident in the cache.
+    pub fn touch_kind(&self, region: u64, page: u64) -> OsResult<TouchKind> {
+        let r = self.regions.get(&region).ok_or(OsError::BadRegion)?;
+        if page >= r.pages {
+            return Err(OsError::InvalidArgument);
+        }
+        if let Some(&slot) = r.slots.get(&page) {
+            return Ok(TouchKind::Swapped(slot));
+        }
+        if r.touched.contains(&page) {
+            return Ok(TouchKind::Materialized);
+        }
+        Ok(TouchKind::Untouched)
+    }
+
+    /// Records that a page has been materialized (first write).
+    pub fn mark_touched(&mut self, region: u64, page: u64) -> OsResult<()> {
+        let r = self.regions.get_mut(&region).ok_or(OsError::BadRegion)?;
+        if page >= r.pages {
+            return Err(OsError::InvalidArgument);
+        }
+        r.touched.insert(page);
+        Ok(())
+    }
+
+    /// Returns the page's swap slot, allocating one if needed (called when
+    /// a dirty anonymous page is evicted).
+    pub fn ensure_slot(&mut self, region: u64, page: u64) -> OsResult<u64> {
+        let r = self.regions.get_mut(&region).ok_or(OsError::BadRegion)?;
+        if let Some(&slot) = r.slots.get(&page) {
+            return Ok(slot);
+        }
+        let Some(&slot) = self.free_slots.iter().next() else {
+            return Err(OsError::OutOfMemory); // Swap space exhausted.
+        };
+        self.free_slots.remove(&slot);
+        r.slots.insert(page, slot);
+        Ok(slot)
+    }
+
+    /// Whether a region is live.
+    pub fn region_exists(&self, region: u64) -> bool {
+        self.regions.contains_key(&region)
+    }
+
+    /// The size of a region in pages.
+    pub fn region_pages(&self, region: u64) -> OsResult<u64> {
+        self.regions
+            .get(&region)
+            .map(|r| r.pages)
+            .ok_or(OsError::BadRegion)
+    }
+
+    /// Swap slots currently in use.
+    pub fn slots_in_use(&self) -> u64 {
+        self.total_slots - self.free_slots.len() as u64
+    }
+
+    /// Number of pages of `region` that live in swap *and* may not be
+    /// resident (oracle helper: the cache decides actual residency).
+    pub fn swapped_pages(&self, region: u64) -> u64 {
+        self.regions
+            .get(&region)
+            .map(|r| r.slots.len() as u64)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_then_materialized_then_swapped() {
+        let mut vm = Vm::new(8);
+        let r = vm.alloc(4);
+        assert_eq!(vm.touch_kind(r, 0).unwrap(), TouchKind::Untouched);
+        vm.mark_touched(r, 0).unwrap();
+        assert_eq!(vm.touch_kind(r, 0).unwrap(), TouchKind::Materialized);
+        let slot = vm.ensure_slot(r, 0).unwrap();
+        assert_eq!(vm.touch_kind(r, 0).unwrap(), TouchKind::Swapped(slot));
+    }
+
+    #[test]
+    fn slots_are_sticky_and_reused() {
+        let mut vm = Vm::new(8);
+        let r = vm.alloc(4);
+        vm.mark_touched(r, 1).unwrap();
+        let s1 = vm.ensure_slot(r, 1).unwrap();
+        let s2 = vm.ensure_slot(r, 1).unwrap();
+        assert_eq!(s1, s2, "a page keeps its slot");
+        assert_eq!(vm.slots_in_use(), 1);
+    }
+
+    #[test]
+    fn free_returns_slots() {
+        let mut vm = Vm::new(2);
+        let r = vm.alloc(4);
+        vm.mark_touched(r, 0).unwrap();
+        vm.mark_touched(r, 1).unwrap();
+        vm.ensure_slot(r, 0).unwrap();
+        vm.ensure_slot(r, 1).unwrap();
+        assert_eq!(vm.slots_in_use(), 2);
+        vm.free(r).unwrap();
+        assert_eq!(vm.slots_in_use(), 0);
+        assert!(!vm.region_exists(r));
+    }
+
+    #[test]
+    fn swap_exhaustion_is_out_of_memory() {
+        let mut vm = Vm::new(1);
+        let r = vm.alloc(4);
+        vm.mark_touched(r, 0).unwrap();
+        vm.mark_touched(r, 1).unwrap();
+        vm.ensure_slot(r, 0).unwrap();
+        assert_eq!(vm.ensure_slot(r, 1), Err(OsError::OutOfMemory));
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let mut vm = Vm::new(8);
+        let r = vm.alloc(2);
+        assert_eq!(vm.check(r, 2), Err(OsError::InvalidArgument));
+        assert_eq!(vm.check(r + 99, 0), Err(OsError::BadRegion));
+        assert_eq!(vm.mark_touched(r, 5), Err(OsError::InvalidArgument));
+    }
+
+    #[test]
+    fn region_ids_are_never_reused() {
+        let mut vm = Vm::new(8);
+        let a = vm.alloc(1);
+        vm.free(a).unwrap();
+        let b = vm.alloc(1);
+        assert_ne!(a, b);
+    }
+}

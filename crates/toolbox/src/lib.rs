@@ -1,0 +1,36 @@
+//! The *gray toolbox*: common infrastructure for building gray-box
+//! Information and Control Layers (ICLs).
+//!
+//! Section 5 of the paper ("Towards a Gray Toolbox") identifies three
+//! families of tools that essentially every ICL needs:
+//!
+//! 1. **Microbenchmarks for configuration** — performance parameters of the
+//!    underlying components, measured once and shared between ICLs through a
+//!    common persistent repository ([`repository`]).
+//! 2. **Measuring output** — low-overhead, high-resolution timers
+//!    ([`time`]).
+//! 3. **Interpreting measurements** — incremental statistics, correlation,
+//!    clustering, outlier rejection, and sorting helpers ([`stats`],
+//!    [`cluster`], [`outlier`]).
+//!
+//! Everything in this crate is OS-agnostic: it depends neither on the
+//! simulated substrate nor on the host backend, so both can use it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod outlier;
+pub mod repository;
+pub mod sampling;
+pub mod stats;
+pub mod time;
+
+pub use cluster::{kmeans1d, two_means, Clustering};
+pub use outlier::{discard_outliers, mad, OutlierPolicy};
+pub use repository::{ParamRepository, RepositoryError};
+pub use sampling::{Reservoir, StreamingRegression};
+pub use stats::{
+    correlation, linear_regression, paired_sign_test, percentile, Ewma, OnlineStats, Summary,
+};
+pub use time::{Duration as GrayDuration, Nanos};

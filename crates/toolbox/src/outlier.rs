@@ -1,0 +1,143 @@
+//! Outlier rejection for noisy timing data.
+//!
+//! Probe measurements are polluted by rare, large positive excursions
+//! (interrupts, daemon wakeups, scheduler preemptions). The paper's toolbox
+//! lists "discarding outliers" among the common data manipulations; this
+//! module provides the two standard robust policies plus the median absolute
+//! deviation (MAD) estimator they build on.
+
+use crate::stats::percentile;
+
+/// How to decide that an observation is an outlier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutlierPolicy {
+    /// Tukey's fences: discard points outside
+    /// `[Q1 - k·IQR, Q3 + k·IQR]`. The conventional `k` is 1.5.
+    Iqr {
+        /// Fence multiplier (1.5 = standard, 3.0 = "far out").
+        k: f64,
+    },
+    /// Discard points whose distance from the median exceeds
+    /// `k` scaled MADs (`k` around 3 to 5 for timing data).
+    Mad {
+        /// MAD multiplier.
+        k: f64,
+    },
+}
+
+impl Default for OutlierPolicy {
+    fn default() -> Self {
+        OutlierPolicy::Mad { k: 5.0 }
+    }
+}
+
+/// Median absolute deviation, scaled by 1.4826 so it estimates the standard
+/// deviation under Gaussian noise.
+///
+/// Returns 0.0 for an empty slice.
+pub fn mad(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("mad rejects NaN"));
+    let med = percentile(&sorted, 50.0);
+    let mut dev: Vec<f64> = sorted.iter().map(|x| (x - med).abs()).collect();
+    dev.sort_by(|a, b| a.partial_cmp(b).expect("deviations are not NaN"));
+    1.4826 * percentile(&dev, 50.0)
+}
+
+/// Returns the observations that survive the outlier policy, preserving
+/// input order.
+///
+/// With a degenerate spread estimate (MAD or IQR of zero — e.g. when most
+/// observations are identical), only exact duplicates of the median survive
+/// under [`OutlierPolicy::Mad`]; under [`OutlierPolicy::Iqr`] the quartile
+/// interval itself survives. Timing data essentially never has zero spread,
+/// but the behavior is deterministic either way.
+///
+/// # Examples
+///
+/// ```
+/// use gray_toolbox::{discard_outliers, OutlierPolicy};
+///
+/// let mut times = vec![10.0, 11.0, 9.0, 10.5, 9.5];
+/// times.push(5000.0); // an interrupt hit this probe
+/// let kept = discard_outliers(&times, OutlierPolicy::default());
+/// assert_eq!(kept.len(), 5);
+/// assert!(!kept.contains(&5000.0));
+/// ```
+pub fn discard_outliers(data: &[f64], policy: OutlierPolicy) -> Vec<f64> {
+    if data.len() < 3 {
+        return data.to_vec();
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("outlier filter rejects NaN"));
+    let (lo, hi) = match policy {
+        OutlierPolicy::Iqr { k } => {
+            let q1 = percentile(&sorted, 25.0);
+            let q3 = percentile(&sorted, 75.0);
+            let iqr = q3 - q1;
+            (q1 - k * iqr, q3 + k * iqr)
+        }
+        OutlierPolicy::Mad { k } => {
+            let med = percentile(&sorted, 50.0);
+            let spread = mad(&sorted);
+            (med - k * spread, med + k * spread)
+        }
+    };
+    data.iter().copied().filter(|&x| x >= lo && x <= hi).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mad_of_constant_data_is_zero() {
+        assert_eq!(mad(&[5.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn mad_estimates_gaussian_sigma() {
+        // Symmetric data around 0 with known quartiles.
+        let data: Vec<f64> = (-50..=50).map(|i| i as f64).collect();
+        let m = mad(&data);
+        // MAD of uniform[-50,50] is 25 * 1.4826.
+        assert!((m - 25.0 * 1.4826).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iqr_policy_keeps_bulk() {
+        let mut data: Vec<f64> = (0..20).map(|i| 10.0 + i as f64 * 0.1).collect();
+        data.push(10_000.0);
+        let kept = discard_outliers(&data, OutlierPolicy::Iqr { k: 1.5 });
+        assert_eq!(kept.len(), 20);
+    }
+
+    #[test]
+    fn small_samples_pass_through() {
+        let data = [1.0, 100.0];
+        assert_eq!(discard_outliers(&data, OutlierPolicy::default()), data);
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let data = [3.0, 1.0, 2.0, 999.0, 2.5];
+        let kept = discard_outliers(&data, OutlierPolicy::Mad { k: 5.0 });
+        assert_eq!(kept, vec![3.0, 1.0, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn negative_outliers_are_discarded_too() {
+        let data = [10.0, 10.1, 9.9, 10.2, 9.8, -500.0];
+        let kept = discard_outliers(&data, OutlierPolicy::default());
+        assert!(!kept.contains(&-500.0));
+        assert_eq!(kept.len(), 5);
+    }
+
+    #[test]
+    fn mad_of_empty_is_zero() {
+        assert_eq!(mad(&[]), 0.0);
+    }
+}

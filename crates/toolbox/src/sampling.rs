@@ -1,0 +1,276 @@
+//! Streaming samplers and estimators for long-running observation.
+//!
+//! Section 5 of the paper nominates "Douceur and Bolosky's statistical
+//! sampler" (from MS Manners) for the gray toolbox: ICLs observe
+//! unbounded measurement streams but can afford only bounded state, and
+//! the operations "must be performed incrementally". This module provides
+//! the two standard tools for that: a fixed-size uniform **reservoir
+//! sample** of an unbounded stream, and an **incremental least-squares
+//! regression** whose state is five running sums.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A fixed-capacity uniform random sample of an unbounded stream
+/// (Vitter's Algorithm R, seeded for reproducibility).
+///
+/// After `n ≥ capacity` observations, every observation seen so far has
+/// probability `capacity / n` of being in the sample.
+///
+/// # Examples
+///
+/// ```
+/// use gray_toolbox::sampling::Reservoir;
+///
+/// let mut r = Reservoir::new(16, 42);
+/// for x in 0..10_000 {
+///     r.push(x as f64);
+/// }
+/// assert_eq!(r.sample().len(), 16);
+/// assert_eq!(r.seen(), 10_000);
+/// ```
+#[derive(Debug)]
+pub struct Reservoir {
+    sample: Vec<f64>,
+    capacity: usize,
+    seen: u64,
+    rng: StdRng,
+}
+
+impl Reservoir {
+    /// Creates a reservoir holding at most `capacity` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            sample: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Offers one observation to the reservoir.
+    pub fn push(&mut self, x: f64) {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(x);
+        } else {
+            let j = self.rng.random_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.sample[j as usize] = x;
+            }
+        }
+    }
+
+    /// The current sample (unordered).
+    pub fn sample(&self) -> &[f64] {
+        &self.sample
+    }
+
+    /// Total observations offered.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Summary statistics of the current sample.
+    pub fn summary(&self) -> crate::stats::Summary {
+        crate::stats::Summary::new(&self.sample)
+    }
+}
+
+/// Incremental ordinary-least-squares regression `y = slope·x +
+/// intercept` over a stream of `(x, y)` pairs — O(1) state, O(1) update.
+///
+/// MS Manners regresses progress counters against time to estimate the
+/// uncontended baseline rate; MAC's calibration can regress touch time
+/// against page index to detect drift.
+///
+/// # Examples
+///
+/// ```
+/// use gray_toolbox::sampling::StreamingRegression;
+///
+/// let mut reg = StreamingRegression::new();
+/// for i in 0..100 {
+///     reg.push(i as f64, 3.0 * i as f64 + 7.0);
+/// }
+/// let (slope, intercept) = reg.line();
+/// assert!((slope - 3.0).abs() < 1e-9);
+/// assert!((intercept - 7.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamingRegression {
+    n: u64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    sxy: f64,
+    syy: f64,
+}
+
+impl StreamingRegression {
+    /// Creates an empty regression.
+    pub fn new() -> Self {
+        StreamingRegression::default()
+    }
+
+    /// Adds one `(x, y)` observation.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.sxy += x * y;
+        self.syy += y * y;
+    }
+
+    /// The number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The fitted `(slope, intercept)`; a degenerate `x` spread yields a
+    /// horizontal line through the mean, and an empty regression yields
+    /// `(0, 0)`.
+    pub fn line(&self) -> (f64, f64) {
+        if self.n == 0 {
+            return (0.0, 0.0);
+        }
+        let n = self.n as f64;
+        let denom = self.sxx - self.sx * self.sx / n;
+        if denom.abs() < f64::EPSILON * (1.0 + self.sxx.abs()) {
+            return (0.0, self.sy / n);
+        }
+        let slope = (self.sxy - self.sx * self.sy / n) / denom;
+        let intercept = (self.sy - slope * self.sx) / n;
+        (slope, intercept)
+    }
+
+    /// The predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        let (m, b) = self.line();
+        m * x + b
+    }
+
+    /// The coefficient of determination R² in [0, 1] (0 when undefined).
+    pub fn r_squared(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let ss_tot = self.syy - self.sy * self.sy / n;
+        if ss_tot <= 0.0 {
+            return 0.0;
+        }
+        let (m, b) = self.line();
+        // SS_res = Σ(y − (mx+b))².
+        let ss_res = self.syy - 2.0 * m * self.sxy - 2.0 * b * self.sy
+            + m * m * self.sxx
+            + 2.0 * m * b * self.sx
+            + n * b * b;
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_keeps_everything_below_capacity() {
+        let mut r = Reservoir::new(10, 1);
+        for x in 0..5 {
+            r.push(x as f64);
+        }
+        assert_eq!(r.sample(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn reservoir_sample_is_roughly_uniform() {
+        // Stream 0..10_000; the sample mean should approximate the stream
+        // mean (4999.5) rather than the head or tail.
+        let mut r = Reservoir::new(256, 7);
+        for x in 0..10_000 {
+            r.push(x as f64);
+        }
+        let mean = r.summary().mean();
+        assert!(
+            (3800.0..6200.0).contains(&mean),
+            "reservoir mean {mean} too far from 4999.5"
+        );
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut r = Reservoir::new(8, seed);
+            for x in 0..1000 {
+                r.push(x as f64);
+            }
+            r.sample().to_vec()
+        };
+        assert_eq!(collect(3), collect(3));
+        assert_ne!(collect(3), collect(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Reservoir::new(0, 0);
+    }
+
+    #[test]
+    fn regression_matches_batch_fit() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -2.5 * x + 11.0).collect();
+        let mut reg = StreamingRegression::new();
+        for (x, y) in xs.iter().zip(&ys) {
+            reg.push(*x, *y);
+        }
+        let (m_stream, b_stream) = reg.line();
+        let (m_batch, b_batch) = crate::stats::linear_regression(&xs, &ys);
+        assert!((m_stream - m_batch).abs() < 1e-9);
+        assert!((b_stream - b_batch).abs() < 1e-9);
+        assert!(reg.r_squared() > 0.999999);
+    }
+
+    #[test]
+    fn regression_degenerate_cases() {
+        let empty = StreamingRegression::new();
+        assert_eq!(empty.line(), (0.0, 0.0));
+        let mut vertical = StreamingRegression::new();
+        vertical.push(2.0, 1.0);
+        vertical.push(2.0, 5.0);
+        let (m, b) = vertical.line();
+        assert_eq!(m, 0.0);
+        assert_eq!(b, 3.0);
+        assert_eq!(vertical.r_squared(), 0.0);
+    }
+
+    #[test]
+    fn noisy_regression_has_lower_r_squared() {
+        let mut clean = StreamingRegression::new();
+        let mut noisy = StreamingRegression::new();
+        for i in 0..200 {
+            let x = i as f64;
+            clean.push(x, 2.0 * x);
+            // Deterministic "noise" with large amplitude.
+            let jitter = if i % 2 == 0 { 50.0 } else { -50.0 };
+            noisy.push(x, 2.0 * x + jitter);
+        }
+        assert!(clean.r_squared() > noisy.r_squared());
+        assert!(noisy.r_squared() > 0.5, "signal still dominates");
+    }
+
+    #[test]
+    fn predict_interpolates() {
+        let mut reg = StreamingRegression::new();
+        reg.push(0.0, 0.0);
+        reg.push(10.0, 20.0);
+        assert!((reg.predict(5.0) - 10.0).abs() < 1e-9);
+    }
+}

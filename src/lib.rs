@@ -1,0 +1,43 @@
+//! `graybox-icl` — umbrella crate for the gray-box Information and
+//! Control Layer workspace, a reproduction of *Information and Control in
+//! Gray-Box Systems* (Arpaci-Dusseau & Arpaci-Dusseau, SOSP 2001).
+//!
+//! This crate re-exports the workspace members under one roof so examples
+//! and downstream users can depend on a single crate:
+//!
+//! - [`graybox`] — the ICLs themselves (FCCD, FLDC, MAC) and the
+//!   `GrayBoxOs` trait (the paper's primary contribution);
+//! - [`toolbox`] — the gray toolbox (timers, statistics, clustering,
+//!   parameter repository);
+//! - [`simos`] — the deterministic simulated OS substrate;
+//! - [`hostos`] — the real-OS backend over `std`;
+//! - [`apps`] — grep, fastsort, gbp, and the scan workloads;
+//! - [`priorart`] — Table 1's pre-existing gray-box systems in miniature.
+//!
+//! See `examples/` for runnable entry points and the `repro` crate for the
+//! per-figure reproduction harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use gray_apps as apps;
+pub use gray_toolbox as toolbox;
+pub use graybox;
+pub use hostos;
+pub use priorart;
+pub use simos;
+
+/// The paper this workspace reproduces.
+pub const PAPER: &str =
+    "Arpaci-Dusseau & Arpaci-Dusseau, \"Information and Control in Gray-Box Systems\", SOSP 2001";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_wired() {
+        let _ = crate::toolbox::OnlineStats::new();
+        let _ = crate::graybox::fccd::FccdParams::default();
+        let _ = crate::simos::SimConfig::small();
+        assert!(crate::PAPER.contains("SOSP 2001"));
+    }
+}
