@@ -13,8 +13,8 @@
 
 use std::process::ExitCode;
 
-use graybox::microbench::Microbench;
 use gray_toolbox::ParamRepository;
+use graybox::microbench::Microbench;
 use hostos::HostOs;
 
 fn main() -> ExitCode {
@@ -23,10 +23,7 @@ fn main() -> ExitCode {
         .first()
         .cloned()
         .unwrap_or_else(|| "graybox-params.repo".to_string());
-    let scratch_mb: u64 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
+    let scratch_mb: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
 
     let os = match HostOs::new(std::env::current_dir().expect("cwd")) {
         Ok(os) => os,

@@ -21,9 +21,9 @@
 //!   with a k-way merge — used by tests and the host-backend example to
 //!   prove the application logic is real.
 
+use gray_toolbox::GrayDuration;
 use graybox::mac::{Mac, MacParams, MacStats};
 use graybox::os::{Fd, GrayBoxOs, OsError, OsResult};
-use gray_toolbox::GrayDuration;
 
 /// How pass sizes are chosen.
 #[derive(Debug, Clone, PartialEq)]
@@ -288,7 +288,9 @@ impl<'a, O: GrayBoxOs> FastSort<'a, O> {
             let mut data = vec![0u8; pass_bytes as usize];
             let mut got = 0usize;
             while (got as u64) < pass_bytes {
-                let n = self.os.read_at(in_fd, offset + got as u64, &mut data[got..])?;
+                let n = self
+                    .os
+                    .read_at(in_fd, offset + got as u64, &mut data[got..])?;
                 if n == 0 {
                     break;
                 }
@@ -415,8 +417,8 @@ pub fn make_records<O: GrayBoxOs>(
     record_bytes: u64,
     seed: u64,
 ) -> OsResult<()> {
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use gray_toolbox::rng::StdRng;
+    use gray_toolbox::rng::{RngExt, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
     let fd = os.create(path)?;
     let mut buf = vec![0u8; (record_bytes * n.min(1024)) as usize];

@@ -15,11 +15,11 @@
 //! are pure memory/CPU costs), while all file I/O is real against the
 //! backend.
 
+use gray_toolbox::GrayDuration;
 use graybox::compose::ComposedOrderer;
 use graybox::fccd::{Fccd, FccdParams};
 use graybox::fldc::Fldc;
 use graybox::os::{GrayBoxOs, OsResult};
-use gray_toolbox::GrayDuration;
 
 /// Which ordering gbp applies (its command-line flags).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,11 +98,7 @@ impl<'a, O: GrayBoxOs> Gbp<'a, O> {
     /// units to `consume` in best probe order. Returns total bytes
     /// streamed. The consumer sees the extents (offset, data) so a real
     /// filter can process them; modelled pipelines pass a no-op.
-    pub fn stream_file(
-        &self,
-        path: &str,
-        mut consume: impl FnMut(u64, &[u8]),
-    ) -> OsResult<u64> {
+    pub fn stream_file(&self, path: &str, mut consume: impl FnMut(u64, &[u8])) -> OsResult<u64> {
         if self.model_cpu {
             self.os.compute(self.fork_exec_cost);
         }

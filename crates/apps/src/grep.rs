@@ -14,11 +14,11 @@
 //! ("the match is in file X") for bulk experiments whose files carry fill
 //! content.
 
+use gray_toolbox::GrayDuration;
 use graybox::compose::ComposedOrderer;
 use graybox::fccd::{Fccd, FccdParams};
 use graybox::fldc::Fldc;
 use graybox::os::{GrayBoxOs, OsResult};
-use gray_toolbox::GrayDuration;
 
 /// What grep is looking for.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,8 +192,7 @@ impl<'a, O: GrayBoxOs> Grep<'a, O> {
                 break;
             }
             if self.options.model_cpu {
-                self.os
-                    .compute(self.options.scan_cost_per_byte * n);
+                self.os.compute(self.options.scan_cost_per_byte * n);
             }
             off += n;
         }

@@ -7,9 +7,9 @@
 //! file is accessed in access-unit-sized chunks, so access-unit-sized
 //! chunks are what ends up cached, stabilizing the prediction.
 
+use gray_toolbox::GrayDuration;
 use graybox::fccd::{Fccd, FccdParams};
 use graybox::os::{GrayBoxOs, OsResult};
-use gray_toolbox::GrayDuration;
 
 /// Result of one scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

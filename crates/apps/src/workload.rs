@@ -1,9 +1,9 @@
 //! Synthetic workload generators for the experiments.
 
+use gray_toolbox::rng::SliceRandom;
+use gray_toolbox::rng::StdRng;
+use gray_toolbox::rng::{RngExt, SeedableRng};
 use graybox::os::{GrayBoxOs, GrayBoxOsExt, OsResult};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
 
 /// Creates a file of `bytes` synthetic bytes at `path` (chunked
 /// `write_fill`, so no host memory is proportional to the size).

@@ -2,17 +2,18 @@
 //! probe rounds, differentiation strategy (sort vs cluster vs threshold),
 //! and the MAC increment policy (fixed vs doubling).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gray_bench::{tiny_corpus, tiny_fccd, tiny_sim};
+use gray_toolbox::bench::Harness;
+use gray_toolbox::two_means;
 use graybox::fccd::{Fccd, FccdParams};
 use graybox::mac::{Mac, MacParams};
-use gray_toolbox::two_means;
 use std::hint::black_box;
+use std::time::Duration;
 
-fn bench_ablations(c: &mut Criterion) {
+fn bench_ablations(h: &mut Harness) {
     // Probe rounds: more rounds buy confidence at probing cost.
     for rounds in [1u32, 3] {
-        c.bench_function(&format!("fccd_probe_rounds_{rounds}"), |b| {
+        h.bench_function(&format!("fccd_probe_rounds_{rounds}"), |b| {
             let mut sim = tiny_sim();
             let paths = tiny_corpus(&mut sim, 8, 512 << 10);
             b.iter(|| {
@@ -31,16 +32,22 @@ fn bench_ablations(c: &mut Criterion) {
     // Differentiation strategy on a bimodal probe-time population:
     // sorting (the paper's thresholdless choice) vs exact 2-means.
     let times: Vec<f64> = (0..256)
-        .map(|i| if i % 3 == 0 { 5_000_000.0 } else { 2_000.0 + i as f64 })
+        .map(|i| {
+            if i % 3 == 0 {
+                5_000_000.0
+            } else {
+                2_000.0 + i as f64
+            }
+        })
         .collect();
-    c.bench_function("differentiate_by_sort", |b| {
+    h.bench_function("differentiate_by_sort", |b| {
         b.iter(|| {
             let mut t = times.clone();
             t.sort_by(|a, b| a.partial_cmp(b).unwrap());
             black_box(t[0])
         })
     });
-    c.bench_function("differentiate_by_two_means", |b| {
+    h.bench_function("differentiate_by_two_means", |b| {
         b.iter(|| black_box(two_means(&times).within_ss))
     });
 
@@ -50,7 +57,7 @@ fn bench_ablations(c: &mut Criterion) {
         ("fixed", 256u64 << 10, 256u64 << 10),
         ("doubling", 256 << 10, 4 << 20),
     ] {
-        c.bench_function(&format!("mac_increment_{label}"), |b| {
+        h.bench_function(&format!("mac_increment_{label}"), |b| {
             let mut sim = tiny_sim();
             b.iter(|| {
                 sim.run_one(|os| {
@@ -69,9 +76,9 @@ fn bench_ablations(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_ablations
+fn main() {
+    let mut h = Harness::new()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    bench_ablations(&mut h);
 }
-criterion_main!(benches);

@@ -2,45 +2,48 @@
 //! version of the corresponding `repro` harness, so regressions in any
 //! experiment's cost show up here.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gray_toolbox::bench::Harness;
 use repro::Scale;
 use std::hint::black_box;
+use std::time::Duration;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_figures(h: &mut Harness) {
+    h.group("paper");
 
-    group.bench_function("table1", |b| {
+    h.bench_function("table1", |b| {
         b.iter(|| black_box(repro::tables::render_table1().len()))
     });
-    group.bench_function("table2", |b| {
+    h.bench_function("table2", |b| {
         b.iter(|| black_box(repro::tables::render_table2().len()))
     });
-    group.bench_function("fig1_probe_correlation", |b| {
+    h.bench_function("fig1_probe_correlation", |b| {
         b.iter(|| black_box(repro::fig1::run(Scale::Tiny).cells.len()))
     });
-    group.bench_function("fig2_single_file_scan", |b| {
+    h.bench_function("fig2_single_file_scan", |b| {
         b.iter(|| black_box(repro::fig2::run(Scale::Tiny).points.len()))
     });
-    group.bench_function("fig3_applications", |b| {
+    h.bench_function("fig3_applications", |b| {
         b.iter(|| black_box(repro::fig3::run(Scale::Tiny).grep.normalized()))
     });
-    group.bench_function("fig4_multi_platform", |b| {
+    h.bench_function("fig4_multi_platform", |b| {
         b.iter(|| black_box(repro::fig4::run(Scale::Tiny).rows.len()))
     });
-    group.bench_function("fig5_file_ordering", |b| {
+    h.bench_function("fig5_file_ordering", |b| {
         b.iter(|| black_box(repro::fig5::run(Scale::Tiny).rows.len()))
     });
-    group.bench_function("fig6_aging", |b| {
+    h.bench_function("fig6_aging", |b| {
         b.iter(|| black_box(repro::fig6::run_with(Scale::Tiny, 6, 5).points.len()))
     });
-    group.bench_function("fig7_sort_with_mac", |b| {
+    h.bench_function("fig7_sort_with_mac", |b| {
         b.iter(|| black_box(repro::fig7::run(Scale::Tiny).points.len()))
     });
-    group.finish();
+    h.finish_group();
 }
 
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .min_iters(10);
+    bench_figures(&mut h);
+}

@@ -1,14 +1,15 @@
 //! End-to-end ICL operation benchmarks on a small simulated machine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gray_bench::{tiny_corpus, tiny_fccd, tiny_sim};
+use gray_toolbox::bench::Harness;
 use graybox::fccd::Fccd;
 use graybox::fldc::Fldc;
 use graybox::mac::{Mac, MacParams};
 use std::hint::black_box;
+use std::time::Duration;
 
-fn bench_icl(c: &mut Criterion) {
-    c.bench_function("fccd_order_16_files", |b| {
+fn bench_icl(h: &mut Harness) {
+    h.bench_function("fccd_order_16_files", |b| {
         let mut sim = tiny_sim();
         let paths = tiny_corpus(&mut sim, 16, 256 << 10);
         b.iter(|| {
@@ -20,7 +21,7 @@ fn bench_icl(c: &mut Criterion) {
         })
     });
 
-    c.bench_function("fldc_order_directory_64", |b| {
+    h.bench_function("fldc_order_directory_64", |b| {
         let mut sim = tiny_sim();
         let _ = tiny_corpus(&mut sim, 64, 8 << 10);
         b.iter(|| {
@@ -31,7 +32,7 @@ fn bench_icl(c: &mut Criterion) {
         })
     });
 
-    c.bench_function("mac_available_estimate", |b| {
+    h.bench_function("mac_available_estimate", |b| {
         let mut sim = tiny_sim();
         b.iter(|| {
             sim.run_one(|os| {
@@ -49,9 +50,9 @@ fn bench_icl(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_icl
+fn main() {
+    let mut h = Harness::new()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    bench_icl(&mut h);
 }
-criterion_main!(benches);

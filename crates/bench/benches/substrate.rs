@@ -1,13 +1,14 @@
 //! Benchmarks for the simulated substrate: how fast does the simulator
 //! itself simulate? (Page-granularity experiments run millions of these.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gray_bench::tiny_sim;
+use gray_toolbox::bench::Harness;
 use graybox::os::GrayBoxOs;
 use std::hint::black_box;
+use std::time::Duration;
 
-fn bench_substrate(c: &mut Criterion) {
-    c.bench_function("disk_service_time_random", |b| {
+fn bench_substrate(h: &mut Harness) {
+    h.bench_function("disk_service_time_random", |b| {
         let mut disk = simos::disk::Disk::new(simos::DiskParams::default(), 4096);
         let mut now = gray_toolbox::Nanos::ZERO;
         let mut block = 1u64;
@@ -18,9 +19,8 @@ fn bench_substrate(c: &mut Criterion) {
         })
     });
 
-    c.bench_function("cache_insert_lookup", |b| {
-        let mut cache =
-            simos::cache::PageCache::new(simos::CacheArch::Unified, 4096, 4096);
+    h.bench_function("cache_insert_lookup", |b| {
+        let mut cache = simos::cache::PageCache::new(simos::CacheArch::Unified, 4096, 4096);
         let mut page = 0u64;
         b.iter(|| {
             let id = simos::cache::PageId {
@@ -34,7 +34,7 @@ fn bench_substrate(c: &mut Criterion) {
         })
     });
 
-    c.bench_function("sim_sequential_read_1mb", |b| {
+    h.bench_function("sim_sequential_read_1mb", |b| {
         let mut sim = tiny_sim();
         sim.run_one(|os| {
             let fd = os.create("/seq").unwrap();
@@ -54,7 +54,7 @@ fn bench_substrate(c: &mut Criterion) {
         })
     });
 
-    c.bench_function("sim_mem_touch_resident", |b| {
+    h.bench_function("sim_mem_touch_resident", |b| {
         let mut sim = tiny_sim();
         b.iter(|| {
             sim.run_one(|os| {
@@ -67,7 +67,7 @@ fn bench_substrate(c: &mut Criterion) {
         })
     });
 
-    c.bench_function("fs_create_unlink", |b| {
+    h.bench_function("fs_create_unlink", |b| {
         let mut sim = tiny_sim();
         let mut i = 0u64;
         b.iter(|| {
@@ -82,9 +82,9 @@ fn bench_substrate(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_substrate
+fn main() {
+    let mut h = Harness::new()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    bench_substrate(&mut h);
 }
-criterion_main!(benches);

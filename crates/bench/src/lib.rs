@@ -1,4 +1,4 @@
-//! Shared scaffolding for the Criterion benchmark suite.
+//! Shared scaffolding for the offline benchmark suite (gray_toolbox::bench).
 //!
 //! The benches cover four layers:
 //!
@@ -16,8 +16,8 @@
 
 #![forbid(unsafe_code)]
 
-use graybox::os::GrayBoxOs;
 use gray_apps::workload::make_files;
+use graybox::os::GrayBoxOs;
 use simos::{Sim, SimConfig};
 
 /// A tiny simulated machine (16 MB RAM) for microbench-scale work.

@@ -45,8 +45,7 @@ impl<'a, O: GrayBoxOs> ComposedOrderer<'a, O> {
         for (group, cached) in [(classified.cached, true), (classified.uncached, false)] {
             let group_paths: Vec<String> = group.into_iter().map(|r| r.path).collect();
             let (ranked, _missing) = self.fldc.order_by_inumber(&group_paths);
-            let mut seen: std::collections::HashSet<&String> =
-                std::collections::HashSet::new();
+            let mut seen: std::collections::HashSet<&String> = std::collections::HashSet::new();
             for rank in &ranked {
                 out.push(ComposedRank {
                     path: rank.path.clone(),
@@ -78,10 +77,7 @@ pub fn techniques() -> TechniqueInventory {
     TechniqueInventory::new(
         "FCCD+FLDC",
         &[
-            (
-                Technique::AlgorithmicKnowledge,
-                "LRU cache + FFS layout",
-            ),
+            (Technique::AlgorithmicKnowledge, "LRU cache + FFS layout"),
             (Technique::MonitorOutputs, "Probe times + i-numbers"),
             (Technique::StatisticalMethods, "Two-means clustering"),
             (Technique::InsertProbes, "Reads and stat()s"),
@@ -145,11 +141,7 @@ mod tests {
         let fccd = Fccd::new(&os, small_params());
         let fldc = Fldc::new(&os);
         let composed = ComposedOrderer::new(&fccd, &fldc);
-        let scrambled = vec![
-            "/f2".to_string(),
-            "/f0".to_string(),
-            "/f1".to_string(),
-        ];
+        let scrambled = vec!["/f2".to_string(), "/f0".to_string(), "/f1".to_string()];
         let order = composed.order_files(&scrambled).unwrap();
         let names: Vec<&str> = order.iter().map(|r| r.path.as_str()).collect();
         assert_eq!(names, vec!["/f0", "/f1", "/f2"]);

@@ -32,9 +32,9 @@
 
 use std::cell::RefCell;
 
+use gray_toolbox::rng::StdRng;
+use gray_toolbox::rng::{RngExt, SeedableRng};
 use gray_toolbox::{two_means, GrayDuration};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 use crate::os::{Fd, GrayBoxOs, OsResult};
 use crate::technique::{Technique, TechniqueInventory};
@@ -199,7 +199,10 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
     /// prediction unit larger than the access unit).
     pub fn new(os: &'a O, params: FccdParams) -> Self {
         assert!(params.access_unit > 0, "access unit must be positive");
-        assert!(params.prediction_unit > 0, "prediction unit must be positive");
+        assert!(
+            params.prediction_unit > 0,
+            "prediction unit must be positive"
+        );
         assert!(
             params.prediction_unit <= params.access_unit,
             "prediction unit cannot exceed the access unit"
@@ -356,8 +359,7 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
     /// The access units of a file of `size` bytes: `access_unit`-sized,
     /// snapped to the record alignment, covering the whole file.
     pub fn access_units(&self, size: u64) -> Vec<(u64, u64)> {
-        let au = snap_down(self.params.access_unit, self.params.align)
-            .max(self.params.align);
+        let au = snap_down(self.params.access_unit, self.params.align).max(self.params.align);
         chunks(0, size, au)
     }
 
@@ -404,7 +406,6 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
             size,
         }
     }
-
 }
 
 /// How FCCD maps onto the paper's technique taxonomy (Table 2).
@@ -560,7 +561,10 @@ mod tests {
         let report = fccd.probe_file(fd, 16);
         assert_eq!(report.total_probes(), 0, "tiny files must not be probed");
         assert_eq!(report.units.len(), 1);
-        assert_eq!(report.units[0].probe_time, small_params().small_file_penalty);
+        assert_eq!(
+            report.units[0].probe_time,
+            small_params().small_file_penalty
+        );
         assert!(!os.page_cached("/tiny", 0), "no Heisenberg on tiny files");
     }
 
@@ -621,8 +625,7 @@ mod tests {
         let os = crate::mock::MockOs::new(1 << 20, 16);
         os.write_file("/real", &vec![0u8; 8 * 4096]).unwrap();
         let fccd = Fccd::new(&os, small_params());
-        let ranks =
-            fccd.order_files(&["/ghost".to_string(), "/real".to_string()]);
+        let ranks = fccd.order_files(&["/ghost".to_string(), "/real".to_string()]);
         assert_eq!(ranks[0].path, "/real");
         assert_eq!(ranks[1].path, "/ghost");
         assert_eq!(ranks[1].size, 0);

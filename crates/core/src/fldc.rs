@@ -457,8 +457,7 @@ mod tests {
         let os = MockOs::new(1 << 20, 16);
         populate(&os, "/d", &["a"]);
         let fldc = Fldc::new(&os);
-        let (ranks, failed) =
-            fldc.order_by_inumber(&["/d/a".to_string(), "/d/ghost".to_string()]);
+        let (ranks, failed) = fldc.order_by_inumber(&["/d/a".to_string(), "/d/ghost".to_string()]);
         assert_eq!(ranks.len(), 1);
         assert_eq!(failed, 1);
     }
@@ -485,7 +484,9 @@ mod tests {
         os.write_file("/d/small", &[0u8; 10]).unwrap();
         os.write_file("/d/mid", &[0u8; 100]).unwrap();
         let fldc = Fldc::new(&os);
-        let n = fldc.refresh_directory("/d", RefreshOrder::SmallestFirst).unwrap();
+        let n = fldc
+            .refresh_directory("/d", RefreshOrder::SmallestFirst)
+            .unwrap();
         assert_eq!(n, 3);
         let ranks = fldc.order_directory("/d").unwrap();
         let order: Vec<&str> = ranks.iter().map(|r| r.path.as_str()).collect();
@@ -501,7 +502,8 @@ mod tests {
         os.set_times("/d/f", Nanos::from_secs(11), Nanos::from_secs(22))
             .unwrap();
         let fldc = Fldc::new(&os);
-        fldc.refresh_directory("/d", RefreshOrder::SmallestFirst).unwrap();
+        fldc.refresh_directory("/d", RefreshOrder::SmallestFirst)
+            .unwrap();
         assert_eq!(os.read_to_vec("/d/f").unwrap(), b"precious bytes");
         let st = os.stat("/d/f").unwrap();
         assert_eq!(st.atime, Nanos::from_secs(11));
@@ -516,7 +518,8 @@ mod tests {
         os.write_file("/d/sub/x", b"deep").unwrap();
         os.write_file("/d/f", b"top").unwrap();
         let fldc = Fldc::new(&os);
-        fldc.refresh_directory("/d", RefreshOrder::SmallestFirst).unwrap();
+        fldc.refresh_directory("/d", RefreshOrder::SmallestFirst)
+            .unwrap();
         assert_eq!(os.read_to_vec("/d/sub/x").unwrap(), b"deep");
         assert_eq!(os.read_to_vec("/d/f").unwrap(), b"top");
     }
@@ -577,9 +580,12 @@ mod tests {
         let os = MockOs::new(1 << 20, 16);
         populate(&os, "/d", &["a", "b", "c"]);
         // Rewrite in the order c, a, b (mtimes via set_times for clarity).
-        os.set_times("/d/c", Nanos::from_secs(1), Nanos::from_secs(10)).unwrap();
-        os.set_times("/d/a", Nanos::from_secs(1), Nanos::from_secs(20)).unwrap();
-        os.set_times("/d/b", Nanos::from_secs(1), Nanos::from_secs(30)).unwrap();
+        os.set_times("/d/c", Nanos::from_secs(1), Nanos::from_secs(10))
+            .unwrap();
+        os.set_times("/d/a", Nanos::from_secs(1), Nanos::from_secs(20))
+            .unwrap();
+        os.set_times("/d/b", Nanos::from_secs(1), Nanos::from_secs(30))
+            .unwrap();
         let fldc = Fldc::new(&os);
         let paths = vec!["/d/a".to_string(), "/d/b".to_string(), "/d/c".to_string()];
         let (ranks, failed) = fldc.order_by_mtime(&paths);

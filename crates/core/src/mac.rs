@@ -156,7 +156,10 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
             params.max_increment >= params.initial_increment,
             "max increment below initial increment"
         );
-        assert!(params.slow_multiplier > 1.0, "slow multiplier must exceed 1");
+        assert!(
+            params.slow_multiplier > 1.0,
+            "slow multiplier must exceed 1"
+        );
         Mac {
             os,
             params,
@@ -219,8 +222,8 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
                 // lockstep; the clock's low bits are as good a seed as a
                 // gray-box layer gets.
                 let jitter = self.os.now().as_nanos() % 1000;
-                let wait = self.params.retry_wait
-                    + self.params.retry_wait.mul_f64(jitter as f64 / 2000.0);
+                let wait =
+                    self.params.retry_wait + self.params.retry_wait.mul_f64(jitter as f64 / 2000.0);
                 self.os.sleep(wait);
                 self.stats.borrow_mut().wait_time += wait;
             }

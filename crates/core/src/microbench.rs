@@ -15,9 +15,9 @@
 //! the clustering will reveal as a suspiciously low separation).
 
 use gray_toolbox::repository::keys;
+use gray_toolbox::rng::StdRng;
+use gray_toolbox::rng::{RngExt, SeedableRng};
 use gray_toolbox::{two_means, GrayDuration, ParamRepository, Summary};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 use crate::os::{GrayBoxOs, OsError, OsResult};
 
@@ -244,7 +244,10 @@ impl<'a, O: GrayBoxOs> Microbench<'a, O> {
         let transfer = GrayDuration::from_secs_f64(
             self.os.page_size() as f64 / disk.sequential_bandwidth.max(1) as f64,
         );
-        repo.set_duration(keys::DISK_SEEK_NS, disk.random_page_read.saturating_sub(transfer));
+        repo.set_duration(
+            keys::DISK_SEEK_NS,
+            disk.random_page_read.saturating_sub(transfer),
+        );
 
         let unit = self.access_unit(&scratch, file_bytes)?;
         repo.set_raw(keys::ACCESS_UNIT_BYTES, unit);

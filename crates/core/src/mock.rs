@@ -103,7 +103,11 @@ impl MockOs {
     /// Creates a mock with the given file-cache and memory capacities (in
     /// pages) and default costs. The root directory `/` exists.
     pub fn new(cache_capacity_pages: usize, mem_capacity_pages: usize) -> Self {
-        Self::with_costs(cache_capacity_pages, mem_capacity_pages, MockCosts::default())
+        Self::with_costs(
+            cache_capacity_pages,
+            mem_capacity_pages,
+            MockCosts::default(),
+        )
     }
 
     /// Creates a mock with explicit costs.
@@ -341,8 +345,7 @@ impl GrayBoxOs for MockOs {
         }
         self.charge(&mut inner, cost);
         let f = inner.files.get(&path).expect("checked above");
-        buf[..len as usize]
-            .copy_from_slice(&f.data[offset as usize..(offset + len) as usize]);
+        buf[..len as usize].copy_from_slice(&f.data[offset as usize..(offset + len) as usize]);
         Ok(len as usize)
     }
 
@@ -790,7 +793,8 @@ mod tests {
     fn set_times_round_trips() {
         let os = MockOs::new(16, 16);
         os.write_file("/f", b"x").unwrap();
-        os.set_times("/f", Nanos::from_secs(1), Nanos::from_secs(2)).unwrap();
+        os.set_times("/f", Nanos::from_secs(1), Nanos::from_secs(2))
+            .unwrap();
         let st = os.stat("/f").unwrap();
         assert_eq!(st.atime, Nanos::from_secs(1));
         assert_eq!(st.mtime, Nanos::from_secs(2));

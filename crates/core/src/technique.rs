@@ -87,10 +87,7 @@ impl TechniqueInventory {
                 .expect("ALL covers every variant");
             entries[idx].1 = desc;
         }
-        TechniqueInventory {
-            system,
-            entries,
-        }
+        TechniqueInventory { system, entries }
     }
 
     /// The description for a particular technique.
@@ -118,8 +115,7 @@ pub fn render_table(title: &str, inventories: &[TechniqueInventory]) -> String {
     let col_w = inventories
         .iter()
         .flat_map(|inv| {
-            std::iter::once(inv.system.len())
-                .chain(inv.entries.iter().map(|(_, d)| d.len()))
+            std::iter::once(inv.system.len()).chain(inv.entries.iter().map(|(_, d)| d.len()))
         })
         .max()
         .unwrap_or(8)

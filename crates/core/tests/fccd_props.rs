@@ -1,22 +1,20 @@
-//! Property-based tests for the FCCD planner against the in-crate mock OS.
+//! Property-based tests for the FCCD planner against the in-crate mock
+//! OS, on the in-tree deterministic harness (`gray_toolbox::prop`).
 
+use gray_toolbox::prop::{check, Gen};
 use graybox::fccd::{Fccd, FccdParams};
 use graybox::mock::MockOs;
 use graybox::os::{GrayBoxOs, GrayBoxOsExt};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The plan's extents must partition [0, size) exactly: no gaps, no
-    /// overlap, regardless of file size, unit sizes, or alignment.
-    #[test]
-    fn plan_partitions_the_file(
-        size in 1u64..3_000_000,
-        access_kb in 1u64..512,
-        pred_div in 1u64..8,
-        align in prop::sample::select(vec![1u64, 100, 512, 4096]),
-    ) {
+/// The plan's extents must partition [0, size) exactly: no gaps, no
+/// overlap, regardless of file size, unit sizes, or alignment.
+#[test]
+fn plan_partitions_the_file() {
+    check("plan_partitions_the_file", 64, |g: &mut Gen| {
+        let size = g.u64(1..3_000_000);
+        let access_kb = g.u64(1..512);
+        let pred_div = g.u64(1..8);
+        let align = g.select(&[1u64, 100, 512, 4096]);
         let access_unit = access_kb * 1024;
         let prediction_unit = (access_unit / pred_div).max(1);
         let os = MockOs::new(1 << 16, 16);
@@ -35,25 +33,26 @@ proptest! {
         // Partition: contiguous from 0, total = size.
         let mut expected_offset = 0u64;
         for &(off, len) in &units {
-            prop_assert_eq!(off, expected_offset);
-            prop_assert!(len > 0);
+            assert_eq!(off, expected_offset);
+            assert!(len > 0);
             expected_offset += len;
         }
-        prop_assert_eq!(expected_offset, size);
+        assert_eq!(expected_offset, size);
         // All boundaries except EOF are aligned.
         for &(off, _) in &units {
-            prop_assert_eq!(off % align, 0, "unaligned boundary at {}", off);
+            assert_eq!(off % align, 0, "unaligned boundary at {}", off);
         }
         let _ = fd;
-    }
+    });
+}
 
-    /// With zero noise (the mock is deterministic), sorting by probe time
-    /// ranks every fully-resident unit strictly before every cold unit.
-    #[test]
-    fn resident_units_always_sort_first(
-        units in 2usize..12,
-        warm_mask in 1u32..4096,
-    ) {
+/// With zero noise (the mock is deterministic), sorting by probe time
+/// ranks every fully-resident unit strictly before every cold unit.
+#[test]
+fn resident_units_always_sort_first() {
+    check("resident_units_always_sort_first", 64, |g: &mut Gen| {
+        let units = g.usize(2..12);
+        let warm_mask = g.range(1u32..4096);
         let unit_pages = 4u64;
         let os = MockOs::new(1 << 16, 16);
         let size = units as u64 * unit_pages * 4096;
@@ -82,19 +81,23 @@ proptest! {
             for (rank, u) in ranked_units.iter().enumerate() {
                 let is_warm = warm.contains(u);
                 if rank < warm_count {
-                    prop_assert!(is_warm, "rank {rank} = unit {u} should be warm: {ranked_units:?}, warm {warm:?}");
+                    assert!(
+                        is_warm,
+                        "rank {rank} = unit {u} should be warm: {ranked_units:?}, warm {warm:?}"
+                    );
                 } else {
-                    prop_assert!(!is_warm, "cold ranks must follow warm ones");
+                    assert!(!is_warm, "cold ranks must follow warm ones");
                 }
             }
         }
-    }
+    });
+}
 
-    /// order_files never loses or duplicates a path, whatever the input.
-    #[test]
-    fn order_files_is_a_permutation(
-        present in prop::collection::vec(prop::bool::ANY, 1..12),
-    ) {
+/// order_files never loses or duplicates a path, whatever the input.
+#[test]
+fn order_files_is_a_permutation() {
+    check("order_files_is_a_permutation", 64, |g: &mut Gen| {
+        let present = g.vec(1..12, |g| g.bool());
         let os = MockOs::new(1 << 16, 16);
         let mut paths = Vec::new();
         for (i, &exists) in present.iter().enumerate() {
@@ -110,11 +113,11 @@ proptest! {
             ..FccdParams::default()
         };
         let ranks = Fccd::new(&os, params).order_files(&paths);
-        prop_assert_eq!(ranks.len(), paths.len());
+        assert_eq!(ranks.len(), paths.len());
         let mut seen: Vec<String> = ranks.into_iter().map(|r| r.path).collect();
         seen.sort();
         let mut expected = paths.clone();
         expected.sort();
-        prop_assert_eq!(seen, expected);
-    }
+        assert_eq!(seen, expected);
+    });
 }

@@ -1,8 +1,9 @@
-//! Property-based tests for the admission controller against the mock OS.
+//! Property-based tests for the admission controller against the mock
+//! OS, on the in-tree deterministic harness (`gray_toolbox::prop`).
 
+use gray_toolbox::prop::{check, Gen};
 use graybox::mac::{Mac, MacParams};
 use graybox::mock::MockOs;
-use proptest::prelude::*;
 
 const PAGE: u64 = 4096;
 
@@ -15,62 +16,62 @@ fn params() -> MacParams {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// On an otherwise-idle machine of arbitrary size, the estimate lands
-    /// within a sane band of the true capacity and never exceeds it by
-    /// more than one increment.
-    #[test]
-    fn estimate_tracks_capacity(capacity_pages in 48u64..512) {
+/// On an otherwise-idle machine of arbitrary size, the estimate lands
+/// within a sane band of the true capacity and never exceeds it by
+/// more than one increment.
+#[test]
+fn estimate_tracks_capacity() {
+    check("estimate_tracks_capacity", 24, |g: &mut Gen| {
+        let capacity_pages = g.u64(48..512);
         let os = MockOs::new(16, capacity_pages as usize);
         let mac = Mac::new(&os, params());
         let est_pages = mac.available_estimate(capacity_pages * 4 * PAGE).unwrap() / PAGE;
-        prop_assert!(
+        assert!(
             est_pages <= capacity_pages,
             "estimate {est_pages} exceeds capacity {capacity_pages}"
         );
-        prop_assert!(
+        assert!(
             est_pages * 2 >= capacity_pages,
             "estimate {est_pages} below half of capacity {capacity_pages}"
         );
-    }
+    });
+}
 
-    /// `gb_alloc` honors its contract for arbitrary (min, max, multiple):
-    /// the result is a multiple in [min', max'] or a clean None — never a
-    /// panic, never a stray allocation left behind.
-    #[test]
-    fn gb_alloc_contract(
-        min_pages in 0u64..64,
-        extra_pages in 0u64..64,
-        multiple_pages in 1u64..8,
-    ) {
+/// `gb_alloc` honors its contract for arbitrary (min, max, multiple):
+/// the result is a multiple in [min', max'] or a clean None — never a
+/// panic, never a stray allocation left behind.
+#[test]
+fn gb_alloc_contract() {
+    check("gb_alloc_contract", 24, |g: &mut Gen| {
+        let min_pages = g.u64(0..64);
+        let extra_pages = g.u64(0..64);
+        let multiple_pages = g.u64(1..8);
         let os = MockOs::new(16, 128);
         let mac = Mac::new(&os, params());
         let min = min_pages * PAGE;
         let max = (min_pages + extra_pages) * PAGE;
         let multiple = multiple_pages * PAGE;
         let before = os.resident_anon_pages();
-        match mac.gb_alloc(min, max, multiple).unwrap() {
-            Some(alloc) => {
-                prop_assert_eq!(alloc.bytes % multiple, 0);
-                prop_assert!(alloc.bytes >= min.max(multiple));
-                prop_assert!(alloc.bytes <= max.max(multiple));
-                mac.gb_free(alloc).unwrap();
-            }
-            None => {}
+        if let Some(alloc) = mac.gb_alloc(min, max, multiple).unwrap() {
+            assert_eq!(alloc.bytes % multiple, 0);
+            assert!(alloc.bytes >= min.max(multiple));
+            assert!(alloc.bytes <= max.max(multiple));
+            mac.gb_free(alloc).unwrap();
         }
-        prop_assert_eq!(
+        assert_eq!(
             os.resident_anon_pages(),
             before,
             "no residual allocation may survive"
         );
-    }
+    });
+}
 
-    /// Fair allocation never returns more than the plain allocation would
-    /// and still respects the floor.
-    #[test]
-    fn fair_alloc_is_bounded_by_plain(peers in 1u32..8) {
+/// Fair allocation never returns more than the plain allocation would
+/// and still respects the floor.
+#[test]
+fn fair_alloc_is_bounded_by_plain() {
+    check("fair_alloc_is_bounded_by_plain", 24, |g: &mut Gen| {
+        let peers = g.range(1u32..8);
         let os = MockOs::new(16, 256);
         let mac = Mac::new(&os, params());
         let plain = mac.gb_alloc(PAGE, 256 * PAGE, PAGE).unwrap().unwrap();
@@ -80,9 +81,9 @@ proptest! {
             .gb_alloc_fair(PAGE, 256 * PAGE, PAGE, peers)
             .unwrap()
             .unwrap();
-        prop_assert!(fair.bytes <= plain_bytes + 32 * PAGE);
+        assert!(fair.bytes <= plain_bytes + 32 * PAGE);
         if peers > 1 {
-            prop_assert!(
+            assert!(
                 fair.bytes <= plain_bytes / (peers as u64) + 48 * PAGE,
                 "fair share too large: {} of {} for {} peers",
                 fair.bytes,
@@ -91,5 +92,5 @@ proptest! {
             );
         }
         mac.gb_free(fair).unwrap();
-    }
+    });
 }

@@ -27,8 +27,8 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use graybox::os::{Fd, GrayBoxOs, MemRegion, OsError, OsResult, Stat};
 use gray_toolbox::{GrayDuration, Nanos};
+use graybox::os::{Fd, GrayBoxOs, MemRegion, OsError, OsResult, Stat};
 
 #[cfg(unix)]
 use std::os::unix::fs::{FileExt, MetadataExt};
@@ -266,7 +266,10 @@ impl GrayBoxOs for HostOs {
 
     fn set_times(&self, path: &str, atime: Nanos, mtime: Nanos) -> OsResult<()> {
         let p = self.host_path(path)?;
-        let file = fs::OpenOptions::new().write(true).open(&p).map_err(map_err)?;
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(&p)
+            .map_err(map_err)?;
         let times = fs::FileTimes::new()
             .set_accessed(std::time::UNIX_EPOCH + std::time::Duration::from_nanos(atime.0))
             .set_modified(std::time::UNIX_EPOCH + std::time::Duration::from_nanos(mtime.0));

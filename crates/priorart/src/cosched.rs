@@ -200,10 +200,7 @@ pub fn techniques() -> TechniqueInventory {
                 Technique::AlgorithmicKnowledge,
                 "Dest. scheduled to send msg",
             ),
-            (
-                Technique::MonitorOutputs,
-                "Arrival of requests, resp. time",
-            ),
+            (Technique::MonitorOutputs, "Arrival of requests, resp. time"),
             (Technique::Microbenchmarks, "Round-trip time"),
             (Technique::KnownState, "Required for benchmarks"),
             (Technique::Feedback, "All react to same observations"),

@@ -15,10 +15,10 @@
 //! the CPU (plus noise); alone, each gets it all. The detector uses the
 //! toolbox's paired-sample sign test, as the original does.
 
-use graybox::technique::{Technique, TechniqueInventory};
 use gray_toolbox::paired_sign_test;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use gray_toolbox::rng::StdRng;
+use gray_toolbox::rng::{RngExt, SeedableRng};
+use graybox::technique::{Technique, TechniqueInventory};
 
 /// Simulation parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,8 +148,7 @@ pub fn run(cfg: &MannersConfig) -> MannersReport {
             // would otherwise compound the alpha into frequent false
             // positives on an idle machine.
             let base_mean: f64 = base.iter().sum::<f64>() / base.len() as f64;
-            let win_mean: f64 =
-                window.iter().take(base.len()).sum::<f64>() / base.len() as f64;
+            let win_mean: f64 = window.iter().take(base.len()).sum::<f64>() / base.len() as f64;
             let material = win_mean < 0.75 * base_mean;
             if material && test.greater > test.less && test.significant_at(cfg.alpha) {
                 running = false;
@@ -197,10 +196,7 @@ pub fn techniques() -> TechniqueInventory {
                 "Symmetric performance impact",
             ),
             (Technique::MonitorOutputs, "Reported progress of process"),
-            (
-                Technique::StatisticalMethods,
-                "Regression, EWMA, sign test",
-            ),
+            (Technique::StatisticalMethods, "Regression, EWMA, sign test"),
             (Technique::KnownState, "None, but slow convergence"),
         ],
     )
@@ -218,7 +214,11 @@ mod tests {
             "latency {:.0} ticks",
             report.detection_latency
         );
-        assert!(report.suspensions >= 2, "suspensions {}", report.suspensions);
+        assert!(
+            report.suspensions >= 2,
+            "suspensions {}",
+            report.suspensions
+        );
     }
 
     #[test]

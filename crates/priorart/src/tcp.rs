@@ -16,9 +16,9 @@
 //! regardless of congestion. Senders track the *true* cause of each loss
 //! event so the run can report inference accuracy.
 
+use gray_toolbox::rng::StdRng;
+use gray_toolbox::rng::{RngExt, SeedableRng};
 use graybox::technique::{Technique, TechniqueInventory};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Simulation parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,7 +105,9 @@ pub fn run(cfg: &TcpConfig) -> TcpReport {
         for (i, sender) in senders.iter_mut().enumerate() {
             // Delivered fraction of this sender's offer: what the link
             // served this round, attributed proportionally.
-            let share = (served * offered[i]).checked_div(total_offered).unwrap_or(0);
+            let share = (served * offered[i])
+                .checked_div(total_offered)
+                .unwrap_or(0);
             let accepted = (accepted_total * offered[i])
                 .checked_div(total_offered)
                 .unwrap_or(0);

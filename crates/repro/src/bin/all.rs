@@ -22,11 +22,19 @@ fn main() {
 
 fn run_fig1(scale: Scale) {
     let fig = repro::fig1::run(scale);
-    println!("fig1: {} series x {} prediction units", fig.cells.len(), fig.prediction_units.len());
+    println!(
+        "fig1: {} series x {} prediction units",
+        fig.cells.len(),
+        fig.prediction_units.len()
+    );
 }
 fn run_fig2(scale: Scale) {
     let fig = repro::fig2::run(scale);
-    println!("fig2: {} sweep points (cache {} MB)", fig.points.len(), fig.cache_bytes >> 20);
+    println!(
+        "fig2: {} sweep points (cache {} MB)",
+        fig.points.len(),
+        fig.cache_bytes >> 20
+    );
 }
 fn run_fig3(scale: Scale) {
     let fig = repro::fig3::run(scale);
@@ -52,5 +60,8 @@ fn run_fig7(scale: Scale) {
 }
 fn run_sleds(scale: Scale) {
     let r = repro::sleds::run(scale);
-    println!("sleds: FCCD captured {:.0}% of the SLED utility", r.utility_captured * 100.0);
+    println!(
+        "sleds: FCCD captured {:.0}% of the SLED utility",
+        r.utility_captured * 100.0
+    );
 }

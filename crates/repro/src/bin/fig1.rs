@@ -18,7 +18,10 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &format!("Figure 1: Probe Correlation (file {} MB)", fig.file_size >> 20),
+        &format!(
+            "Figure 1: Probe Correlation (file {} MB)",
+            fig.file_size >> 20
+        ),
         &header_refs,
         &rows,
     );

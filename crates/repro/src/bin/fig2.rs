@@ -23,7 +23,13 @@ fn main() {
             "Figure 2: Single-File Scan (cache {} MB)",
             fig.cache_bytes >> 20
         ),
-        &["file size", "linear", "gray-box", "model worst", "model ideal"],
+        &[
+            "file size",
+            "linear",
+            "gray-box",
+            "model worst",
+            "model ideal",
+        ],
         &rows,
     );
     print_paper_note(

@@ -12,7 +12,11 @@ fn main() {
                 format!(
                     "{}{}",
                     p.epoch,
-                    if p.epoch == fig.refresh_epoch { " *refresh*" } else { "" }
+                    if p.epoch == fig.refresh_epoch {
+                        " *refresh*"
+                    } else {
+                        ""
+                    }
                 ),
                 format!("{:.4}s", p.random),
                 format!("{:.4}s", p.inumber),

@@ -28,7 +28,14 @@ fn main() {
             fig.usable_memory >> 20
         ),
         &[
-            "pass", "makespan", "read", "sort", "write", "mac ovh", "mean pass", "swapouts",
+            "pass",
+            "makespan",
+            "read",
+            "sort",
+            "write",
+            "mac ovh",
+            "mean pass",
+            "swapouts",
         ],
         &rows,
     );

@@ -10,7 +10,11 @@ fn main() {
         vec!["SLED (modified kernel)".to_string(), r.sled.to_string()],
         vec!["ideal model".to_string(), format!("{:8.3}s", r.model_ideal)],
     ];
-    print_table("FCCD vs SLEDs (partially cached scan)", &["strategy", "time"], &rows);
+    print_table(
+        "FCCD vs SLEDs (partially cached scan)",
+        &["strategy", "time"],
+        &rows,
+    );
     println!(
         "FCCD captured {:.0}% of the SLED's improvement over the uninformed scan",
         r.utility_captured * 100.0

@@ -13,11 +13,11 @@
 //! The expected shape: correlation is high while the prediction unit is at
 //! or below the access unit, and falls off noticeably beyond it.
 
-use graybox::os::GrayBoxOs;
 use gray_apps::workload::make_file;
 use gray_toolbox::correlation;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use gray_toolbox::rng::StdRng;
+use gray_toolbox::rng::{RngExt, SeedableRng};
+use graybox::os::GrayBoxOs;
 use simos::Sim;
 
 use crate::Scale;

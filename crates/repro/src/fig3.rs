@@ -10,12 +10,12 @@
 //! smaller than grep's because the sort's own heap and write buffering
 //! compete for memory).
 
-use graybox::fccd::{Fccd, FccdParams};
-use graybox::os::GrayBoxOs;
 use gray_apps::gbp::{Gbp, GbpMode};
 use gray_apps::grep::{Grep, GrepMode, GrepOptions, Needle};
 use gray_apps::workload::{make_file, make_files};
 use gray_toolbox::GrayDuration;
+use graybox::fccd::{Fccd, FccdParams};
+use graybox::os::GrayBoxOs;
 use simos::Sim;
 
 use crate::{Scale, TrialStats};
@@ -86,10 +86,14 @@ fn run_grep(scale: Scale) -> AppBars {
                 let grep = Grep::new(os, opts);
                 match mode {
                     MeasureMode::Unmodified => {
-                        grep.run(&paths, &needle, &GrepMode::Unmodified).unwrap().elapsed
+                        grep.run(&paths, &needle, &GrepMode::Unmodified)
+                            .unwrap()
+                            .elapsed
                     }
                     MeasureMode::GrayBox => {
-                        grep.run(&paths, &needle, &GrepMode::GrayBox(params)).unwrap().elapsed
+                        grep.run(&paths, &needle, &GrepMode::GrayBox(params))
+                            .unwrap()
+                            .elapsed
                     }
                     MeasureMode::Gbp => {
                         // Unmodified grep fed by `gbp -mem`.

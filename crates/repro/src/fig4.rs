@@ -18,9 +18,9 @@
 //!   pays off even under non-LRU replacement.
 
 use gray_apps::grep::{Grep, GrepMode, GrepOptions, Needle};
-use graybox::os::GrayBoxOs;
 use gray_apps::scan::{graybox_scan, linear_scan};
 use gray_apps::workload::{make_file, make_files};
+use graybox::os::GrayBoxOs;
 use simos::{Platform, Sim};
 
 use crate::{Scale, TrialStats};
@@ -39,7 +39,10 @@ pub struct Bars {
 impl Bars {
     /// (warm, gray) normalized to cold.
     pub fn normalized(&self) -> (f64, f64) {
-        (self.warm.mean / self.cold.mean, self.gray.mean / self.cold.mean)
+        (
+            self.warm.mean / self.cold.mean,
+            self.gray.mean / self.cold.mean,
+        )
     }
 }
 
@@ -63,14 +66,18 @@ pub struct Fig4 {
 
 /// Runs all six cells.
 pub fn run(scale: Scale) -> Fig4 {
-    let rows = [Platform::LinuxLike, Platform::NetBsdLike, Platform::SolarisLike]
-        .into_iter()
-        .map(|p| PlatformRow {
-            platform: p,
-            scan: run_scan(scale, p),
-            search: run_search(scale, p),
-        })
-        .collect();
+    let rows = [
+        Platform::LinuxLike,
+        Platform::NetBsdLike,
+        Platform::SolarisLike,
+    ]
+    .into_iter()
+    .map(|p| PlatformRow {
+        platform: p,
+        scan: run_scan(scale, p),
+        search: run_search(scale, p),
+    })
+    .collect();
     Fig4 { rows }
 }
 
@@ -234,7 +241,10 @@ mod tests {
 
         // Linux scan: warm ≈ cold (LRU worst case), gray much better.
         let (warm, gray) = linux.scan.normalized();
-        assert!(warm > 0.8, "Linux warm scan should stay near cold: {warm:.2}");
+        assert!(
+            warm > 0.8,
+            "Linux warm scan should stay near cold: {warm:.2}"
+        );
         assert!(gray < 0.6, "Linux gray scan must win: {gray:.2}");
 
         // NetBSD best-case scan: the file slightly exceeds the fixed

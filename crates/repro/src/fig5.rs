@@ -7,10 +7,10 @@
 //! sorting is dramatic — about 6× on Linux and NetBSD, better than 2× on
 //! Solaris.
 
-use graybox::fldc::Fldc;
-use graybox::os::GrayBoxOs;
 use gray_apps::workload::{read_files_in_order, shuffled};
 use gray_toolbox::GrayDuration;
+use graybox::fldc::Fldc;
+use graybox::os::GrayBoxOs;
 use simos::{Platform, Sim};
 
 use crate::{Scale, TrialStats};
@@ -43,10 +43,14 @@ pub const FILE_BYTES: u64 = 8 << 10;
 
 /// Runs all three orders on all three platforms.
 pub fn run(scale: Scale) -> Fig5 {
-    let rows = [Platform::LinuxLike, Platform::NetBsdLike, Platform::SolarisLike]
-        .into_iter()
-        .map(|p| run_platform(scale, p))
-        .collect();
+    let rows = [
+        Platform::LinuxLike,
+        Platform::NetBsdLike,
+        Platform::SolarisLike,
+    ]
+    .into_iter()
+    .map(|p| run_platform(scale, p))
+    .collect();
     Fig5 { rows }
 }
 

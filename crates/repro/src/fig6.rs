@@ -8,11 +8,11 @@
 //! fresh by epoch 30, though still better than random), and snaps back to
 //! the original level after the refresh.
 
+use gray_apps::workload::{age_epoch, make_files, read_files_in_order, shuffled};
+use gray_toolbox::rng::SeedableRng;
+use gray_toolbox::rng::StdRng;
 use graybox::fldc::{Fldc, RefreshOrder};
 use graybox::os::GrayBoxOs;
-use gray_apps::workload::{age_epoch, make_files, read_files_in_order, shuffled};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use simos::Sim;
 
 use crate::Scale;
@@ -119,7 +119,7 @@ pub fn run(scale: Scale) -> Fig6 {
 }
 
 fn rng_next(rng: &mut StdRng) -> u64 {
-    use rand::RngExt;
+    use gray_toolbox::rng::RngExt;
     rng.random_range(0..u64::MAX)
 }
 

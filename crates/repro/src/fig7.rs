@@ -11,9 +11,9 @@
 //! configuration, the overhead split between probing and waiting for
 //! memory.
 
-use graybox::mac::MacParams;
 use gray_apps::fastsort::{FastSort, PassPolicy, SortConfig, SortReport};
 use gray_apps::workload::make_file;
+use graybox::mac::MacParams;
 use simos::exec::Workload;
 use simos::{DiskParams, Sim, SimConfig};
 
@@ -177,8 +177,7 @@ fn run_config(
     let swap_outs = sim.oracle().stats().swap_outs;
 
     let n = reports.len() as f64;
-    let mean =
-        |f: &dyn Fn(&SortReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
+    let mean = |f: &dyn Fn(&SortReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
     SweepPoint {
         label: label.to_string(),
         pass_bytes,
@@ -203,8 +202,11 @@ mod tests {
     #[test]
     fn figure_shape_holds_at_small_scale() {
         let fig = run(Scale::Small);
-        let statics: Vec<&SweepPoint> =
-            fig.points.iter().filter(|p| p.pass_bytes.is_some()).collect();
+        let statics: Vec<&SweepPoint> = fig
+            .points
+            .iter()
+            .filter(|p| p.pass_bytes.is_some())
+            .collect();
         let gb = fig.points.last().expect("gb point");
         assert!(gb.pass_bytes.is_none());
 
@@ -234,14 +236,24 @@ mod tests {
             gb.swap_outs,
             worst_static.swap_outs
         );
-        // …its average pass is near the best static sweet spot…
-        let best_pass = best_static.pass_bytes.unwrap() as f64;
-        let ratio = gb.mean_pass as f64 / best_pass;
+        // …its average pass lands in the non-paging sweet band. The
+        // paper's comparison point is the sweet spot — the *largest*
+        // static pass that does not page — not the static point with the
+        // minimum makespan: the non-paging points finish within a few
+        // percent of each other, so which of them "wins" is clock-jitter
+        // noise, while the sweet spot is stable.
+        let sweet = statics
+            .iter()
+            .filter(|p| p.swap_outs == 0)
+            .max_by_key(|p| p.pass_bytes.unwrap())
+            .expect("at least one static pass must avoid paging");
+        let ratio = gb.mean_pass as f64 / sweet.mean_pass as f64;
         assert!(
             (0.4..=2.0).contains(&ratio),
-            "gb mean pass {} vs best static {}",
+            "gb mean pass {} vs sweet-spot static mean pass {} (pass {})",
             gb.mean_pass,
-            best_pass
+            sweet.mean_pass,
+            sweet.pass_bytes.unwrap()
         );
         // …and it lands well below the paging catastrophe, paying only a
         // bounded overhead over the best static configuration (the paper

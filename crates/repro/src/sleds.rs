@@ -18,10 +18,10 @@
 //!    same access-unit machinery otherwise;
 //! 4. the analytic **ideal** model (cached bytes at memory rate).
 
-use graybox::os::GrayBoxOs;
 use gray_apps::scan::{graybox_scan, linear_scan};
 use gray_apps::workload::make_file;
 use gray_toolbox::GrayDuration;
+use graybox::os::GrayBoxOs;
 use simos::Sim;
 
 use crate::{Scale, TrialStats};
@@ -55,8 +55,8 @@ pub fn run(scale: Scale) -> Sleds {
     let chunk = 1u64 << 20;
     let trials = scale.trials();
     let disk_bw = cfg.disks[0].bandwidth as f64;
-    let mem_rate = cfg.page_size as f64
-        / (cfg.costs.copy_per_page + cfg.costs.page_lookup).as_secs_f64();
+    let mem_rate =
+        cfg.page_size as f64 / (cfg.costs.copy_per_page + cfg.costs.page_lookup).as_secs_f64();
 
     let mut sim = Sim::new(cfg);
     sim.run_one(|os| make_file(os, "/sled", file_size).unwrap());

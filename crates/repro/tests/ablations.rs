@@ -1,11 +1,11 @@
 //! Accuracy ablations for the design choices DESIGN.md calls out. These
 //! are regression tests for behaviors the paper motivates qualitatively.
 
+use gray_apps::workload::make_file;
 use graybox::fccd::{Fccd, FccdParams};
 use graybox::fldc::{Fldc, RefreshOrder};
 use graybox::mac::{Mac, MacParams};
 use graybox::os::GrayBoxOs;
-use gray_apps::workload::make_file;
 use simos::{Sim, SimConfig};
 
 /// Paper §4.1.2: "the method for choosing a probe point within a
@@ -129,8 +129,8 @@ fn ablation_mac_doubling_probes_fewer_pages_than_fixed() {
 /// ordering on the *next* refresh.
 #[test]
 fn ablation_refresh_small_files_first_beats_directory_order() {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gray_toolbox::rng::SeedableRng;
+    use gray_toolbox::rng::StdRng;
 
     let layout_spread = |order: RefreshOrder| -> u64 {
         let mut sim = Sim::new(SimConfig::small().without_noise());
@@ -184,12 +184,12 @@ fn ablation_sorting_handles_multilevel_latencies() {
     // Synthetic: three probe-time populations; sorting must order them
     // memory < disk < tape without knowing any thresholds.
     let times = [
-        3_000.0,       // memory ~3us
-        5_000_000.0,   // disk ~5ms
-        2_500.0,       // memory
-        80_000_000.0,  // tape ~80ms
-        6_000_000.0,   // disk
-        2_800.0,       // memory
+        3_000.0,      // memory ~3us
+        5_000_000.0,  // disk ~5ms
+        2_500.0,      // memory
+        80_000_000.0, // tape ~80ms
+        6_000_000.0,  // disk
+        2_800.0,      // memory
     ];
     let clustering = gray_toolbox::kmeans1d(&times, 3);
     assert_eq!(clustering.assignment, vec![0, 1, 0, 2, 1, 0]);

@@ -191,8 +191,7 @@ impl Pool {
                 dirty,
             },
         );
-        Self::order_for(&mut self.order_file, &mut self.order_anon, id.owner)
-            .insert(seq, id);
+        Self::order_for(&mut self.order_file, &mut self.order_anon, id.owner).insert(seq, id);
         if self.policy == Policy::Sticky {
             self.own_stacks.entry(id.owner).or_default().push(id);
             self.global_stack.push(id);
@@ -213,10 +212,7 @@ impl Pool {
     /// configured (anonymous memory is only reclaimed once the file cache
     /// is exhausted — the streaming-I/O protection real kernels apply).
     fn evict_lru(&mut self) -> Option<Evicted> {
-        let from_file = match (
-            self.order_file.iter().next(),
-            self.order_anon.iter().next(),
-        ) {
+        let from_file = match (self.order_file.iter().next(), self.order_anon.iter().next()) {
             (Some(_), None) => true,
             (None, Some(_)) => false,
             (None, None) => return None,
@@ -456,8 +452,7 @@ impl PageCache {
                 }
             }
             pool.own_stacks.clear();
-            pool.global_stack
-                .retain(|id| pool.entries.contains_key(id));
+            pool.global_stack.retain(|id| pool.entries.contains_key(id));
         }
         out
     }
@@ -466,12 +461,7 @@ impl PageCache {
     pub fn dirty_pages(&self) -> Vec<PageId> {
         self.pools
             .iter()
-            .flat_map(|p| {
-                p.entries
-                    .iter()
-                    .filter(|(_, e)| e.dirty)
-                    .map(|(id, _)| *id)
-            })
+            .flat_map(|p| p.entries.iter().filter(|(_, e)| e.dirty).map(|(id, _)| *id))
             .collect()
     }
 
@@ -531,7 +521,13 @@ mod tests {
             assert!(c.insert(file_page(1, p), false).is_empty());
         }
         let evicted = c.insert(file_page(1, 3), false);
-        assert_eq!(evicted, vec![Evicted { id: file_page(1, 0), dirty: false }]);
+        assert_eq!(
+            evicted,
+            vec![Evicted {
+                id: file_page(1, 0),
+                dirty: false
+            }]
+        );
     }
 
     #[test]
@@ -611,7 +607,10 @@ mod tests {
             c.insert(file_page(2, p), false);
         }
         let f1 = c.resident_of(Owner::File { dev: 0, ino: 1 });
-        assert!(f1.len() >= 3, "file 1 should survive a foreign scan: {f1:?}");
+        assert!(
+            f1.len() >= 3,
+            "file 1 should survive a foreign scan: {f1:?}"
+        );
     }
 
     #[test]
@@ -663,7 +662,10 @@ mod tests {
             for p in 0..16 {
                 c.insert(file_page(round % 3, p), false);
             }
-            c.remove_owner(Owner::File { dev: 0, ino: round % 3 });
+            c.remove_owner(Owner::File {
+                dev: 0,
+                ino: round % 3,
+            });
         }
         assert_eq!(
             c.pools[0].order_file.len() + c.pools[0].order_anon.len(),

@@ -6,9 +6,9 @@
 //! smallest local time, so state mutations are applied in causal order —
 //! this is a conservative sequential discrete-event simulation.
 
+use gray_toolbox::rng::StdRng;
+use gray_toolbox::rng::{RngExt, SeedableRng};
 use gray_toolbox::{GrayDuration, Nanos};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 use crate::config::NoiseParams;
 
@@ -138,9 +138,7 @@ mod tests {
             7,
         );
         let d = GrayDuration::from_micros(1);
-        let spikes = (0..10_000)
-            .filter(|_| n.apply(d) > d * 2)
-            .count();
+        let spikes = (0..10_000).filter(|_| n.apply(d) > d * 2).count();
         assert!((300..=800).contains(&spikes), "spike count {spikes}");
     }
 

@@ -58,8 +58,7 @@ impl Disk {
         // Fit the curve so that the average seek (distance ≈ cylinders/3)
         // matches `seek_avg`.
         let avg_dist = (cylinders as f64 / 3.0).max(1.0);
-        let seek_coef_ns = (params.seek_avg.as_nanos() as f64
-            - params.seek_min.as_nanos() as f64)
+        let seek_coef_ns = (params.seek_avg.as_nanos() as f64 - params.seek_min.as_nanos() as f64)
             .max(0.0)
             / avg_dist.sqrt();
         Disk {
@@ -142,8 +141,8 @@ impl Disk {
     fn rotation_wait(&self, t: Nanos, block: u64) -> GrayDuration {
         let period = self.rot_period.as_nanos();
         let current = t.as_nanos() % period;
-        let target_frac =
-            (block % self.params.blocks_per_track as u64) as f64 / self.params.blocks_per_track as f64;
+        let target_frac = (block % self.params.blocks_per_track as u64) as f64
+            / self.params.blocks_per_track as f64;
         let target = (target_frac * period as f64) as u64;
         let wait = if target >= current {
             target - current
@@ -208,7 +207,9 @@ mod tests {
         let n = 200u64;
         let mut block = 7919u64; // pseudo-random walk via a prime stride
         for _ in 0..n {
-            block = (block.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+            block = (block
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407))
                 % d.blocks();
             let done = d.transfer(now, block, 1);
             total += done.since(now);

@@ -12,11 +12,10 @@
 //! never on host timing, so a simulation with a fixed seed replays
 //! identically.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use graybox::os::{Fd, GrayBoxOs, MemRegion, OsResult, Stat};
 use gray_toolbox::{GrayDuration, Nanos};
-use parking_lot::{Condvar, Mutex};
+use graybox::os::{Fd, GrayBoxOs, MemRegion, OsResult, Stat};
 
 use crate::config::SimConfig;
 use crate::kernel::Kernel;
@@ -44,8 +43,15 @@ pub(crate) struct SharedHandle {
 }
 
 impl SharedHandle {
+    /// Locks the shared state, riding through poisoning: a panicking
+    /// workload must not strand its siblings (the kernel state stays
+    /// consistent because every mutation happens inside one `call`).
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     pub(crate) fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
-        f(&mut self.m.lock().kernel)
+        f(&mut self.lock().kernel)
     }
 }
 
@@ -83,7 +89,7 @@ impl Sim {
     /// latest virtual time any previous process reached.
     pub fn run_one<R>(&mut self, f: impl FnOnce(&SimProc) -> R) -> R {
         let pid = {
-            let mut st = self.shared.m.lock();
+            let mut st = self.shared.lock();
             let start = st.kernel.max_time();
             let pid = st.kernel.add_proc(start);
             st.sched.running = pid;
@@ -95,7 +101,7 @@ impl Sim {
             pid,
         };
         let r = f(&proc_handle);
-        let mut st = self.shared.m.lock();
+        let mut st = self.shared.lock();
         st.kernel.finish_proc(pid);
         st.sched.active.clear();
         r
@@ -104,12 +110,15 @@ impl Sim {
     /// Runs a set of processes concurrently (in virtual time) and returns
     /// their results in input order. All processes start at the same
     /// instant.
-    pub fn run<'env, R: Send + 'env>(&mut self, workloads: Vec<(String, Workload<'env, R>)>) -> Vec<R> {
+    pub fn run<'env, R: Send + 'env>(
+        &mut self,
+        workloads: Vec<(String, Workload<'env, R>)>,
+    ) -> Vec<R> {
         if workloads.is_empty() {
             return Vec::new();
         }
         let pids: Vec<usize> = {
-            let mut st = self.shared.m.lock();
+            let mut st = self.shared.lock();
             let start = st.kernel.max_time();
             let pids: Vec<usize> = workloads
                 .iter()
@@ -119,13 +128,11 @@ impl Sim {
             st.sched.running = pids[0];
             pids
         };
-        let results: Vec<Mutex<Option<R>>> =
-            workloads.iter().map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<R>>> = workloads.iter().map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
-            for ((_name, workload), (&pid, slot)) in workloads
-                .into_iter()
-                .zip(pids.iter().zip(results.iter()))
+            for ((_name, workload), (&pid, slot)) in
+                workloads.into_iter().zip(pids.iter().zip(results.iter()))
             {
                 let shared = Arc::clone(&self.shared);
                 scope.spawn(move || {
@@ -135,9 +142,9 @@ impl Sim {
                     };
                     // Wait for the baton before the first instruction.
                     {
-                        let mut st = shared.m.lock();
+                        let mut st = shared.lock();
                         while st.sched.running != pid {
-                            shared.cv.wait(&mut st);
+                            st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
                         }
                     }
                     // The finisher releases the baton even if the workload
@@ -147,14 +154,18 @@ impl Sim {
                         pid,
                     };
                     let r = workload(&proc_handle);
-                    *slot.lock() = Some(r);
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
                 });
             }
         });
 
         results
             .into_iter()
-            .map(|m| m.into_inner().expect("workload completed"))
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("workload completed")
+            })
             .collect()
     }
 
@@ -166,14 +177,13 @@ impl Sim {
     /// Drops all file pages from the cache — the between-runs experimental
     /// flush.
     pub fn flush_file_cache(&mut self) {
-        self.shared.m.lock().kernel.flush_file_cache();
+        self.shared.lock().kernel.flush_file_cache();
     }
 
     /// The latest virtual time any process reached.
     pub fn now(&self) -> Nanos {
-        self.shared.m.lock().kernel.max_time()
+        self.shared.lock().kernel.max_time()
     }
-
 }
 
 /// Marks a process finished and passes the baton onward, even on panic.
@@ -184,7 +194,7 @@ struct ProcFinisher<'a> {
 
 impl Drop for ProcFinisher<'_> {
     fn drop(&mut self) {
-        let mut st = self.shared.m.lock();
+        let mut st = self.shared.lock();
         st.kernel.finish_proc(self.pid);
         st.sched.active.retain(|&p| p != self.pid);
         if let Some(next) = choose_next(&st) {
@@ -223,7 +233,7 @@ impl SimProc {
     /// Runs one kernel operation, then yields the baton if another process
     /// now has the smallest local time.
     fn call<R>(&self, f: impl FnOnce(&mut Kernel, usize) -> R) -> R {
-        let mut st = self.shared.m.lock();
+        let mut st = self.shared.lock();
         debug_assert_eq!(
             st.sched.running, self.pid,
             "process ran without holding the baton"
@@ -234,7 +244,7 @@ impl SimProc {
                 st.sched.running = next;
                 self.shared.cv.notify_all();
                 while st.sched.running != self.pid {
-                    self.shared.cv.wait(&mut st);
+                    st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
                 }
             }
         }
@@ -248,7 +258,7 @@ impl GrayBoxOs for SimProc {
     }
 
     fn page_size(&self) -> u64 {
-        self.shared.m.lock().kernel.page_size()
+        self.shared.lock().kernel.page_size()
     }
 
     fn open(&self, path: &str) -> OsResult<Fd> {
@@ -319,7 +329,8 @@ impl GrayBoxOs for SimProc {
     }
 
     fn mem_alloc(&self, bytes: u64) -> OsResult<MemRegion> {
-        self.call(|k, pid| k.sys_mem_alloc(pid, bytes)).map(MemRegion)
+        self.call(|k, pid| k.sys_mem_alloc(pid, bytes))
+            .map(MemRegion)
     }
 
     fn mem_free(&self, region: MemRegion) -> OsResult<()> {
@@ -458,10 +469,10 @@ mod tests {
                 os.now().since(t0)
             })
         };
-        let both = Sim::run(&mut sim, vec![
-            ("a".to_string(), make("/a")),
-            ("b".to_string(), make("/b")),
-        ]);
+        let both = Sim::run(
+            &mut sim,
+            vec![("a".to_string(), make("/a")), ("b".to_string(), make("/b"))],
+        );
         let slowest = both.iter().max().unwrap();
         assert!(
             *slowest > alone,

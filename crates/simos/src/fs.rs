@@ -25,8 +25,8 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use graybox::os::{OsError, OsResult};
 use gray_toolbox::Nanos;
+use graybox::os::{OsError, OsResult};
 
 /// An i-number.
 pub type Ino = u64;
@@ -271,7 +271,11 @@ impl Fs {
         while self.inodes[&dir].blocks.len() < needed {
             let near = last.map(|b| b + 1);
             let block = self.alloc_data_block(group, near)?;
-            self.inodes.get_mut(&dir).expect("dir exists").blocks.push(block);
+            self.inodes
+                .get_mut(&dir)
+                .expect("dir exists")
+                .blocks
+                .push(block);
         }
         Ok(())
     }
@@ -336,19 +340,14 @@ impl Fs {
         for off in 0..=n {
             let gi = (self.log_group + off) % n;
             let g = &mut self.groups[gi];
-            let found = g
-                .free_blocks
-                .range(g.rotor..)
-                .next()
-                .copied()
-                .or_else(|| {
-                    // Wrap within the group only when moving to it fresh.
-                    if off > 0 {
-                        g.free_blocks.iter().next().copied()
-                    } else {
-                        None
-                    }
-                });
+            let found = g.free_blocks.range(g.rotor..).next().copied().or_else(|| {
+                // Wrap within the group only when moving to it fresh.
+                if off > 0 {
+                    g.free_blocks.iter().next().copied()
+                } else {
+                    None
+                }
+            });
             if let Some(b) = found {
                 g.free_blocks.remove(&b);
                 g.rotor = b + 1;
@@ -460,7 +459,12 @@ impl Fs {
             self.log_inode_read(next);
             cur = next;
         }
-        if self.inodes.get(&cur).and_then(|i| i.entries.as_ref()).is_none() {
+        if self
+            .inodes
+            .get(&cur)
+            .and_then(|i| i.entries.as_ref())
+            .is_none()
+        {
             return Err(OsError::NotADirectory);
         }
         Ok((cur, name))
@@ -633,7 +637,11 @@ impl Fs {
         let tname = tname.to_string();
         {
             let fdir_inode = self.inodes.get_mut(&fdir).expect("checked dir");
-            fdir_inode.entries.as_mut().expect("checked dir").remove(fidx);
+            fdir_inode
+                .entries
+                .as_mut()
+                .expect("checked dir")
+                .remove(fidx);
             fdir_inode.mtime = now;
         }
         let idx = {

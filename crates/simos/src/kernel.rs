@@ -14,8 +14,8 @@
 
 use std::collections::HashMap;
 
-use graybox::os::{Fd, OsError, OsResult, Stat};
 use gray_toolbox::{GrayDuration, Nanos};
+use graybox::os::{Fd, OsError, OsResult, Stat};
 
 use crate::cache::{Evicted, Owner, PageCache, PageId};
 use crate::clock::{CpuBank, Noise};
@@ -273,8 +273,7 @@ impl Kernel {
                 if !digits.is_empty() {
                     let after = &rest[digits.len()..];
                     if after.is_empty() || after.starts_with('/') {
-                        let idx: usize =
-                            digits.parse().map_err(|_| OsError::InvalidArgument)?;
+                        let idx: usize = digits.parse().map_err(|_| OsError::InvalidArgument)?;
                         if idx == 0 || idx >= self.disks.len() {
                             return Err(OsError::NotFound);
                         }
@@ -347,7 +346,10 @@ impl Kernel {
     /// Closes a descriptor.
     pub fn sys_close(&mut self, pid: usize, fd: Fd) -> OsResult<()> {
         self.charge_cpu(pid, self.cfg.costs.syscall);
-        self.fdt[pid].remove(&fd.0).map(|_| ()).ok_or(OsError::BadFd)
+        self.fdt[pid]
+            .remove(&fd.0)
+            .map(|_| ())
+            .ok_or(OsError::BadFd)
     }
 
     /// `pread`-style read. When `buf` is `None`, behaves identically
@@ -409,8 +411,7 @@ impl Kernel {
                 // Fetch a readahead run: contiguous on disk, not cached,
                 // within the file and the window.
                 let run = self.plan_fetch_run(of.dev, of.ino, page, file_pages, window);
-                let start_block = self.fss[of.dev]
-                    .ensure_block(of.ino, page)?;
+                let start_block = self.fss[of.dev].ensure_block(of.ino, page)?;
                 // Metadata I/O from block mapping (indirect blocks are
                 // folded into the inode cost model).
                 self.fss[of.dev].take_io();
@@ -518,8 +519,7 @@ impl Kernel {
         for page in first_page..=last_page {
             let disk_block = {
                 let existed = self.fss[of.dev].block_of(of.ino, page).is_some();
-                let r = if existed
-                    && self.fss[of.dev].layout() == crate::config::LayoutPolicy::Lfs
+                let r = if existed && self.fss[of.dev].layout() == crate::config::LayoutPolicy::Lfs
                 {
                     // LFS: overwrites append at the log head.
                     self.fss[of.dev].relocate_block(of.ino, page)
@@ -940,9 +940,7 @@ mod tests {
     fn memory_pressure_triggers_swap_and_slow_touches() {
         let (mut k, pid) = kernel();
         let pages = k.config().usable_pages();
-        let region = k
-            .sys_mem_alloc(pid, (pages + 100) * 4096)
-            .unwrap();
+        let region = k.sys_mem_alloc(pid, (pages + 100) * 4096).unwrap();
         // Touch more pages than exist: must swap.
         for p in 0..pages + 100 {
             k.sys_mem_touch_write(pid, region, p).unwrap();
@@ -1031,10 +1029,7 @@ mod tests {
     fn rename_across_mounts_is_unsupported() {
         let (mut k, pid) = kernel();
         k.sys_create(pid, "/f").unwrap();
-        assert_eq!(
-            k.sys_rename(pid, "/f", "/d1/f"),
-            Err(OsError::Unsupported)
-        );
+        assert_eq!(k.sys_rename(pid, "/f", "/d1/f"), Err(OsError::Unsupported));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Executor robustness: panics, baton handoff, and edge conditions of the
 //! kernel's resource accounting.
 
-use graybox::os::{GrayBoxOs, GrayBoxOsExt, OsError};
 use gray_toolbox::GrayDuration;
+use graybox::os::{GrayBoxOs, GrayBoxOsExt, OsError};
 use simos::exec::Workload;
 use simos::{DiskParams, FsParams, Sim, SimConfig, SimProc};
 

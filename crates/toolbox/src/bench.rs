@@ -1,0 +1,353 @@
+//! A minimal in-tree timing harness for `cargo bench`.
+//!
+//! Replaces the external benchmark framework with a few hundred lines
+//! that keep the same discipline — warmup, then repeated timed samples,
+//! then robust summary statistics — while building offline. Each bench
+//! target is a plain binary (`harness = false`) whose `main` constructs a
+//! [`Harness`] and registers functions with
+//! [`bench_function`](Harness::bench_function).
+//!
+//! Output is one human-readable line plus one JSON line per benchmark on
+//! stdout, so results can be both read in a terminal and collected by
+//! scripts:
+//!
+//! ```text
+//! two_means_256            mean 12.3 µs  p50 12.1 µs  ±0.4 µs  (180 iters)
+//! {"name":"two_means_256","iters":180,"mean_ns":12345.6,...}
+//! ```
+//!
+//! Timing here is *host* time ([`std::time::Instant`]) and therefore the
+//! one deliberately non-deterministic corner of the workspace: benches
+//! measure the simulator's real cost, they never feed experiment results.
+
+use crate::stats::{OnlineStats, Summary};
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost; kept for call-site
+/// compatibility — this harness times each routine call individually, so
+/// the variants behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold per-iteration.
+    SmallInput,
+    /// Setup output is large; a batching harness would run fewer per batch.
+    LargeInput,
+}
+
+enum Mode {
+    /// Run iterations until the warmup budget elapses; record count + time.
+    Warmup { budget: Duration },
+    /// Run exactly `iters` iterations, recording per-iteration nanoseconds.
+    Measure { iters: u64 },
+}
+
+/// The per-benchmark driver handed to registered closures; call
+/// [`iter`](Bencher::iter) or [`iter_batched`](Bencher::iter_batched)
+/// exactly once from inside the closure.
+pub struct Bencher {
+    mode: Mode,
+    /// Iterations completed and wall time spent (warmup mode).
+    warm_iters: u64,
+    warm_elapsed: Duration,
+    /// Per-iteration nanoseconds (measure mode).
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(mode: Mode) -> Self {
+        Bencher {
+            mode,
+            warm_iters: 0,
+            warm_elapsed: Duration::ZERO,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` once per iteration.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput)
+    }
+
+    /// Times `routine` once per iteration on a fresh untimed `setup()`
+    /// value.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            Mode::Warmup { budget } => {
+                let start = Instant::now();
+                loop {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    std::hint::black_box(routine(input));
+                    self.warm_elapsed += t0.elapsed();
+                    self.warm_iters += 1;
+                    if start.elapsed() >= budget {
+                        break;
+                    }
+                }
+            }
+            Mode::Measure { iters } => {
+                self.samples.reserve(iters as usize);
+                for _ in 0..iters {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    std::hint::black_box(routine(input));
+                    self.samples.push(t0.elapsed().as_nanos() as f64);
+                }
+            }
+        }
+    }
+}
+
+/// One benchmark's summarized result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (group-qualified, `group/name`).
+    pub name: String,
+    /// Timed iterations contributing to the summary.
+    pub iters: u64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Sample standard deviation of per-iteration nanoseconds.
+    pub stddev_ns: f64,
+    /// Median nanoseconds per iteration.
+    pub p50_ns: f64,
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Slowest iteration.
+    pub max_ns: f64,
+}
+
+impl BenchResult {
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"iters\":{},\"mean_ns\":{:.1},\"stddev_ns\":{:.1},\
+             \"p50_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}}}",
+            self.name,
+            self.iters,
+            self.mean_ns,
+            self.stddev_ns,
+            self.p50_ns,
+            self.min_ns,
+            self.max_ns
+        )
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The benchmark registry and runner: configure, register functions,
+/// summaries print as each completes.
+pub struct Harness {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Lower bound on timed iterations (even if over the time budget).
+    min_iters: u64,
+    /// Upper bound on timed iterations (memory for per-iter samples).
+    max_iters: u64,
+    /// Substring filter from the command line; empty runs everything.
+    filter: String,
+    group: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// A harness with default budgets (500 ms warmup, 2 s measurement),
+    /// honoring a substring filter and ignoring harness flags (`--bench`)
+    /// from the command line.
+    pub fn new() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .unwrap_or_default();
+        Harness {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            min_iters: 10,
+            max_iters: 1_000_000,
+            filter,
+            group: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the warmup budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the minimum number of timed iterations.
+    pub fn min_iters(mut self, n: u64) -> Self {
+        self.min_iters = n.max(1);
+        self
+    }
+
+    /// Prefixes subsequent benchmark names with `name/` until
+    /// [`finish_group`](Harness::finish_group).
+    pub fn group(&mut self, name: &str) -> &mut Self {
+        self.group = Some(name.to_string());
+        self
+    }
+
+    /// Ends the current group prefix.
+    pub fn finish_group(&mut self) -> &mut Self {
+        self.group = None;
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = match &self.group {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_string(),
+        };
+        if !self.filter.is_empty() && !full.contains(&self.filter) {
+            return self;
+        }
+
+        // Warmup: spend the budget and estimate per-iteration cost.
+        let mut warm = Bencher::new(Mode::Warmup {
+            budget: self.warm_up,
+        });
+        f(&mut warm);
+        let per_iter = warm.warm_elapsed.as_nanos() as f64 / warm.warm_iters.max(1) as f64;
+
+        // Size the measurement run to the time budget.
+        let budget_ns = self.measurement.as_nanos() as f64;
+        let iters = ((budget_ns / per_iter.max(1.0)) as u64).clamp(self.min_iters, self.max_iters);
+
+        let mut meas = Bencher::new(Mode::Measure { iters });
+        f(&mut meas);
+        assert!(
+            !meas.samples.is_empty(),
+            "benchmark `{full}` never called Bencher::iter"
+        );
+
+        let stats = OnlineStats::from_slice(&meas.samples);
+        let summary = Summary::new(&meas.samples);
+        let result = BenchResult {
+            name: full,
+            iters: stats.count(),
+            mean_ns: stats.mean(),
+            stddev_ns: stats.stddev(),
+            p50_ns: summary.median(),
+            min_ns: summary.min(),
+            max_ns: summary.max(),
+        };
+        println!(
+            "{:<40} mean {:>10}  p50 {:>10}  ±{}  ({} iters)",
+            result.name,
+            fmt_ns(result.mean_ns),
+            fmt_ns(result.p50_ns),
+            fmt_ns(result.stddev_ns),
+            result.iters
+        );
+        println!("{}", result.json());
+        self.results.push(result);
+        self
+    }
+
+    /// All results so far (for programmatic use in tests).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_harness() -> Harness {
+        let mut h = Harness::new()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        h.filter = String::new(); // ignore the libtest filter argv
+        h
+    }
+
+    #[test]
+    fn measures_and_summarizes() {
+        let mut h = fast_harness();
+        h.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()))
+        });
+        let r = &h.results()[0];
+        assert_eq!(r.name, "spin");
+        assert!(r.iters >= 10);
+        assert!(r.mean_ns > 0.0);
+        assert!(r.min_ns <= r.p50_ns && r.p50_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn batched_setup_is_not_counted_in_iterations_result() {
+        let mut h = fast_harness();
+        let mut setups = 0u64;
+        h.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 64]
+                },
+                |v| std::hint::black_box(v.iter().map(|&x| x as u64).sum::<u64>()),
+                BatchSize::SmallInput,
+            )
+        });
+        let r = &h.results()[0];
+        // One setup per warmup + measured iteration; at least the measured
+        // count must have happened.
+        assert!(setups >= r.iters);
+    }
+
+    #[test]
+    fn group_prefixes_names() {
+        let mut h = fast_harness();
+        h.group("paper");
+        h.bench_function("t1", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        h.finish_group();
+        assert_eq!(h.results()[0].name, "paper/t1");
+    }
+
+    #[test]
+    fn json_line_is_well_formed() {
+        let r = BenchResult {
+            name: "x".into(),
+            iters: 3,
+            mean_ns: 1.5,
+            stddev_ns: 0.5,
+            p50_ns: 1.0,
+            min_ns: 1.0,
+            max_ns: 2.0,
+        };
+        let j = r.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"name\":\"x\""));
+        assert!(j.contains("\"iters\":3"));
+    }
+}

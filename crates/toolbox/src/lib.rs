@@ -15,13 +15,21 @@
 //!
 //! Everything in this crate is OS-agnostic: it depends neither on the
 //! simulated substrate nor on the host backend, so both can use it.
+//!
+//! The crate is also the workspace's *determinism substrate*: seeded
+//! random numbers ([`rng`]), a seeded property-testing harness ([`prop`]),
+//! and an offline timing harness ([`bench`]) — all in-tree, so the
+//! workspace builds and tests with zero external dependencies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod cluster;
 pub mod outlier;
+pub mod prop;
 pub mod repository;
+pub mod rng;
 pub mod sampling;
 pub mod stats;
 pub mod time;

@@ -86,7 +86,10 @@ pub fn discard_outliers(data: &[f64], policy: OutlierPolicy) -> Vec<f64> {
             (med - k * spread, med + k * spread)
         }
     };
-    data.iter().copied().filter(|&x| x >= lo && x <= hi).collect()
+    data.iter()
+        .copied()
+        .filter(|&x| x >= lo && x <= hi)
+        .collect()
 }
 
 #[cfg(test)]

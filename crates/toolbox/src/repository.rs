@@ -72,7 +72,10 @@ impl fmt::Display for RepositoryError {
                 write!(f, "malformed repository line {line}: {text:?}")
             }
             RepositoryError::BadValue { key, value } => {
-                write!(f, "repository value for {key:?} is not parseable: {value:?}")
+                write!(
+                    f,
+                    "repository value for {key:?} is not parseable: {value:?}"
+                )
             }
         }
     }
@@ -267,7 +270,10 @@ mod tests {
         let text = repo.to_text();
         let mut reloaded = ParamRepository::in_memory();
         reloaded.parse(&text).unwrap();
-        assert_eq!(reloaded.get_u64(keys::DISK_SEEK_NS).unwrap(), Some(5_300_000));
+        assert_eq!(
+            reloaded.get_u64(keys::DISK_SEEK_NS).unwrap(),
+            Some(5_300_000)
+        );
         assert_eq!(reloaded.get_raw("custom.note"), Some("hello world"));
     }
 
@@ -306,7 +312,10 @@ mod tests {
     fn durations_round_trip() {
         let mut repo = ParamRepository::in_memory();
         repo.set_duration("d", Duration::from_micros(7));
-        assert_eq!(repo.get_duration("d").unwrap(), Some(Duration::from_micros(7)));
+        assert_eq!(
+            repo.get_duration("d").unwrap(),
+            Some(Duration::from_micros(7))
+        );
     }
 
     #[test]

@@ -1,0 +1,503 @@
+//! Seeded, in-tree pseudo-random numbers for reproducible probing.
+//!
+//! Every randomized choice in this workspace — FCCD's random probe
+//! offsets, workload shuffles, simulated clock jitter — must replay
+//! identically from an explicit seed, on every platform, with no external
+//! crates. This module provides that substrate:
+//!
+//! - [`splitmix64`]: the standard 64-bit seed expander (Steele, Lea &
+//!   Flood, "Fast splittable pseudorandom number generators", OOPSLA '14),
+//!   used to turn one `u64` seed into full generator state;
+//! - [`Xoshiro256PlusPlus`] (aliased as [`StdRng`]): Blackman & Vigna's
+//!   xoshiro256++ 1.0, a small, fast, well-tested generator suitable for
+//!   everything except cryptography;
+//! - the [`SeedableRng`] / [`RngExt`] / [`SliceRandom`] traits, shaped
+//!   like the subset of the external `rand` crate's API this codebase
+//!   historically imported, so call sites read conventionally while
+//!   staying hermetic.
+//!
+//! Determinism contract: the output of every generator and every derived
+//! operation (`random_range`, `shuffle`, …) is a pure function of the seed
+//! and the call sequence. Known-answer tests below pin the exact streams;
+//! changing them is a breaking change to every recorded experiment.
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// This is the reference algorithm: a Weyl sequence with increment
+/// `0x9e3779b97f4a7c15` fed through a 64-bit variant of the MurmurHash3
+/// finalizer. It is the canonical way to expand one `u64` seed into
+/// arbitrary amounts of independent generator state.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The minimal generator interface: a stream of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits (high bits of `next_u64`).
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with uniformly distributed bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from seeds. Only explicit seeding exists — there is
+/// deliberately no `from_entropy`; every random stream in this workspace
+/// must be reproducible from a written-down seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose state is expanded from `seed` via
+    /// [`splitmix64`], so nearby seeds yield uncorrelated streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019): 256 bits of state, period
+/// 2^256 − 1, passes BigCrush. The workspace's standard generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+/// The workspace's default generator, named `StdRng` so call sites read
+/// conventionally.
+pub type StdRng = Xoshiro256PlusPlus;
+
+/// Compatibility path: `gray_toolbox::rng::rngs::StdRng` mirrors the
+/// conventional `rngs` submodule import shape.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Compatibility path: `gray_toolbox::rng::seq::SliceRandom` mirrors the
+/// conventional `seq` submodule import shape.
+pub mod seq {
+    pub use super::SliceRandom;
+}
+
+impl Xoshiro256PlusPlus {
+    /// Builds a generator from a full 256-bit state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the all-zero state, which is the one fixed point of the
+    /// transition function (the stream would be all zeros forever).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256++ state must be non-zero"
+        );
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        // splitmix64 never returns four zeros in a row, so the state is
+        // always valid.
+        Xoshiro256PlusPlus {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform draw from `[low, high)` (`high` exclusive).
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// A uniform draw from `[low, high]` (`high` inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// A uniform `u64` in `[0, n)` without modulo bias, by rejection from the
+/// largest multiple of `n` below 2^64 (Lemire-style widening multiply).
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (n as u128);
+        let lo = m as u64;
+        if lo >= n || lo >= n.wrapping_neg() % n {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty sample range");
+                let span = (high as i128 - low as i128) as u64;
+                low.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty sample range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64 domain.
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(uniform_u64_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty sample range");
+        // 53 uniform bits in [0, 1); scale preserves the exclusive bound
+        // up to rounding, which we clamp away from `high`.
+        let u01 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = low + u01 * (high - low);
+        if x >= high {
+            // Rounding at the top of huge ranges; step back inside.
+            f64::from_bits(high.to_bits() - 1)
+        } else {
+            x
+        }
+    }
+    #[inline]
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "empty sample range");
+        // 53 uniform bits in [0, 1]; denominator 2^53 − 1 makes both
+        // endpoints reachable.
+        let u01 = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        (low + u01 * (high - low)).clamp(low, high)
+    }
+}
+
+/// Ranges a value can be drawn from: `low..high` and `low..=high`.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Convenience draws on any generator — the conventional `Rng`-extension
+/// surface the codebase uses.
+pub trait RngExt: RngCore {
+    /// A uniform draw from `range` (`a..b` or `a..=b`).
+    #[inline]
+    fn random_range<T, Rng2>(&mut self, range: Rng2) -> T
+    where
+        T: SampleUniform,
+        Rng2: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        // Compare 53 uniform bits against p scaled to the same grid, so
+        // p = 0.0 is never true and p = 1.0 is always true.
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// In-place randomization of slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// A uniform Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        // Durstenfeld's Fisher–Yates, swapping down from the top.
+        for i in (1..self.len()).rev() {
+            let j = uniform_u64_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_u64_below(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Known-answer vectors computed with an independent implementation of
+    // the published reference algorithms (Vigna's splitmix64.c and
+    // xoshiro256plusplus.c). The seed-0 splitmix64 stream also matches the
+    // widely published vector (e220a8397b1dcdaf, ...).
+
+    #[test]
+    fn splitmix64_known_answers() {
+        let mut s = 0u64;
+        let got: Vec<u64> = (0..5).map(|_| splitmix64(&mut s)).collect();
+        assert_eq!(
+            got,
+            [
+                0xe220a8397b1dcdaf,
+                0x6e789e6aa1b965f4,
+                0x06c45d188009454f,
+                0xf88bb8a8724c81ec,
+                0x1b39896a51a8749b,
+            ]
+        );
+        let mut s = 42u64;
+        let got: Vec<u64> = (0..3).map(|_| splitmix64(&mut s)).collect();
+        assert_eq!(
+            got,
+            [0xbdd732262feb6e95, 0x28efe333b266f103, 0x47526757130f9f52]
+        );
+    }
+
+    #[test]
+    fn xoshiro256pp_known_answers_from_state() {
+        // The reference implementation's stream from state [1, 2, 3, 4].
+        let mut rng = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        let got: Vec<u64> = (0..6).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            [
+                0x0000000002800001,
+                0x0000000003800067,
+                0x000cc00003800067,
+                0x000cc201994400b2,
+                0x8012a2019ac433cd,
+                0x8a69978acdee33ba,
+            ]
+        );
+    }
+
+    #[test]
+    fn xoshiro256pp_known_answers_from_u64_seed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let got: Vec<u64> = (0..6).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            [
+                0x53175d61490b23df,
+                0x61da6f3dc380d507,
+                0x5c0fdf91ec9a7bfc,
+                0x02eebf8c3bbe5e1a,
+                0x7eca04ebaf4a5eea,
+                0x0543c37757f08d9a,
+            ]
+        );
+        let mut rng = StdRng::seed_from_u64(42);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            [
+                0xd0764d4f4476689f,
+                0x519e4174576f3791,
+                0xfbe07cfb0c24ed8c,
+                0xb37d9f600cd835b8
+            ]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_sequence_different_seed_different_sequence() {
+        let seq = |seed: u64| -> Vec<u64> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let a = rng.random_range(10u64..17);
+            assert!((10..17).contains(&a));
+            let b = rng.random_range(10u64..=17);
+            assert!((10..=17).contains(&b));
+            let c = rng.random_range(0usize..3);
+            assert!(c < 3);
+            let d = rng.random_range(-1.5f64..=1.5);
+            assert!((-1.5..=1.5).contains(&d));
+            let e = rng.random_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&e));
+            let f = rng.random_range(b'a'..=b'z');
+            assert!(f.is_ascii_lowercase());
+            let g = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&g));
+        }
+    }
+
+    #[test]
+    fn random_range_covers_every_value_of_a_small_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..7)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 7 values should appear: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn random_range_single_value_and_full_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(rng.random_range(5u64..6), 5);
+        assert_eq!(rng.random_range(5u64..=5), 5);
+        // The full-domain inclusive range must not panic or hang.
+        let _ = rng.random_range(0u64..=u64::MAX);
+        let _ = rng.random_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(3u64..3);
+    }
+
+    #[test]
+    fn random_bool_edge_probabilities_and_frequency() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!(
+            (2200..2800).contains(&hits),
+            "p=0.25 over 10k draws hit {hits} times"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let base: Vec<u32> = (0..100).collect();
+        let shuffle_with = |seed: u64| {
+            let mut v = base.clone();
+            v.shuffle(&mut StdRng::seed_from_u64(seed));
+            v
+        };
+        let a = shuffle_with(9);
+        assert_eq!(a, shuffle_with(9), "same seed must shuffle identically");
+        assert_ne!(a, base, "100 elements virtually never shuffle to identity");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, base, "shuffle must be a permutation");
+        assert_ne!(shuffle_with(9), shuffle_with(10));
+    }
+
+    #[test]
+    fn choose_is_uniform_ish_and_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [0usize, 1, 2, 3];
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[*items.choose(&mut rng).unwrap()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 800), "counts {counts:?}");
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic_and_covers_partial_chunks() {
+        let mut a = [0u8; 13];
+        let mut b = [0u8; 13];
+        StdRng::seed_from_u64(6).fill_bytes(&mut a);
+        StdRng::seed_from_u64(6).fill_bytes(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, [0u8; 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn all_zero_state_is_rejected() {
+        let _ = Xoshiro256PlusPlus::from_state([0; 4]);
+    }
+}

@@ -8,8 +8,8 @@
 //! sample** of an unbounded stream, and an **incremental least-squares
 //! regression** whose state is five running sums.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::StdRng;
+use crate::rng::{RngExt, SeedableRng};
 
 /// A fixed-capacity uniform random sample of an unbounded stream
 /// (Vitter's Algorithm R, seeded for reproducibility).

@@ -24,7 +24,13 @@ fn machine() -> SimConfig {
 fn run_policy(label: &str, policy: PassPolicy) {
     let mut sim = Sim::new(machine());
     let inputs: Vec<String> = (0..PROCS)
-        .map(|i| if i == 0 { "/in".into() } else { format!("/d{i}/in") })
+        .map(|i| {
+            if i == 0 {
+                "/in".into()
+            } else {
+                format!("/d{i}/in")
+            }
+        })
         .collect();
     for input in &inputs {
         let input = input.clone();
@@ -37,7 +43,11 @@ fn run_policy(label: &str, policy: PassPolicy) {
         .enumerate()
         .map(|(i, input)| {
             let input = input.clone();
-            let output = if i == 0 { "/out".to_string() } else { format!("/d{i}/out") };
+            let output = if i == 0 {
+                "/out".to_string()
+            } else {
+                format!("/d{i}/out")
+            };
             let policy = policy.clone();
             let wl: Workload<'_, SortReport> = Box::new(move |os: &SimProc| {
                 FastSort::new(os, SortConfig::new(&input, &output, policy))
@@ -53,8 +63,7 @@ fn run_policy(label: &str, policy: PassPolicy) {
         .iter()
         .map(|r| r.total.as_secs_f64())
         .fold(0.0, f64::max);
-    let mean_pass: u64 =
-        reports.iter().map(|r| r.mean_pass()).sum::<u64>() / reports.len() as u64;
+    let mean_pass: u64 = reports.iter().map(|r| r.mean_pass()).sum::<u64>() / reports.len() as u64;
     println!(
         "{label:<18} makespan {slowest:7.2}s  mean pass {:>5} MB  swap-outs {swap_outs}",
         mean_pass >> 20

@@ -4,11 +4,11 @@
 //!
 //! Run with: `cargo run --example layout_refresh`
 
+use gray_toolbox::rng::SeedableRng;
+use gray_toolbox::rng::StdRng;
 use graybox_icl::apps::workload::{age_epoch, make_files, read_files_in_order, shuffled};
 use graybox_icl::graybox::fldc::{Fldc, RefreshOrder};
 use graybox_icl::simos::{Sim, SimConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let mut sim = Sim::new(SimConfig::small());
@@ -28,7 +28,7 @@ fn main() {
         if epoch > 0 {
             let mut erng = StdRng::seed_from_u64(
                 0x1000 + epoch + {
-                    use rand::RngExt;
+                    use gray_toolbox::rng::RngExt;
                     rng.random_range(0..1u64 << 32)
                 },
             );

@@ -53,7 +53,11 @@ fn simulated_tour() {
     });
     println!(
         "FCCD: predicted cached = {:?} (separation {:.2})",
-        ranked.cached.iter().map(|r| r.path.as_str()).collect::<Vec<_>>(),
+        ranked
+            .cached
+            .iter()
+            .map(|r| r.path.as_str())
+            .collect::<Vec<_>>(),
         ranked.separation
     );
 
@@ -70,11 +74,14 @@ fn simulated_tour() {
 
     // --- MAC: how much memory is available right now? -----------------
     let estimate = sim.run_one(|os| {
-        let mac = Mac::new(os, MacParams {
-            initial_increment: 1 << 20,
-            max_increment: 16 << 20,
-            ..MacParams::default()
-        });
+        let mac = Mac::new(
+            os,
+            MacParams {
+                initial_increment: 1 << 20,
+                max_increment: 16 << 20,
+                ..MacParams::default()
+            },
+        );
         mac.available_estimate(128 << 20).unwrap()
     });
     println!("MAC: available memory estimate = {} MB", estimate >> 20);
@@ -87,8 +94,11 @@ fn host_tour() {
 
     os.mkdir("/demo").unwrap();
     for i in 0..5 {
-        os.write_file(&format!("/demo/file{i}"), format!("contents {i}").as_bytes())
-            .unwrap();
+        os.write_file(
+            &format!("/demo/file{i}"),
+            format!("contents {i}").as_bytes(),
+        )
+        .unwrap();
     }
     let fldc = Fldc::new(&os);
     let ranks = fldc.order_directory("/demo").unwrap();

@@ -48,10 +48,7 @@ fn fccd_inference_matches_oracle_ground_truth() {
         .iter()
         .map(|u| u.offset / (2 << 20))
         .collect();
-    let hits = predicted
-        .iter()
-        .filter(|u| warm_units.contains(u))
-        .count();
+    let hits = predicted.iter().filter(|u| warm_units.contains(u)).count();
     assert!(
         hits >= warm_units.len() - 1,
         "FCCD must identify the warm units: predicted {predicted:?}, truth {warm_units:?}"
@@ -117,8 +114,8 @@ fn fldc_inumber_order_matches_physical_layout() {
 
 #[test]
 fn fldc_refresh_restores_monotone_layout_after_churn() {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gray_toolbox::rng::SeedableRng;
+    use gray_toolbox::rng::StdRng;
     let mut sim = Sim::new(SimConfig::small());
     sim.run_one(|os| make_files(os, "/churned", 40, 8 << 10).unwrap());
     let mut rng = StdRng::seed_from_u64(11);
@@ -291,7 +288,11 @@ fn platform_personalities_behave_differently() {
     // signature behaviors.
     let size = 16u64 << 20; // Exceeds NetBSD's 4.6 MB cache, fits Linux's.
     let mut fractions = Vec::new();
-    for platform in [Platform::LinuxLike, Platform::NetBsdLike, Platform::SolarisLike] {
+    for platform in [
+        Platform::LinuxLike,
+        Platform::NetBsdLike,
+        Platform::SolarisLike,
+    ] {
         let mut sim = Sim::new(SimConfig::small().with_platform(platform));
         sim.run_one(|os| make_file(os, "/p", size).unwrap());
         sim.flush_file_cache();
@@ -418,17 +419,14 @@ fn lfs_layout_follows_write_time_not_inumbers() {
         "mtime order must read faster on LFS: {t_mtime} vs {t_ino}"
     );
     // Confirm the config really was LFS (guards against silent default).
-    assert_eq!(
-        SimConfig::small().with_lfs().fs.layout,
-        LayoutPolicy::Lfs
-    );
+    assert_eq!(SimConfig::small().with_lfs().fs.layout, LayoutPolicy::Lfs);
 }
 
 #[test]
 fn refresh_advisor_fires_under_real_aging() {
+    use gray_toolbox::rng::SeedableRng;
+    use gray_toolbox::rng::StdRng;
     use graybox_icl::graybox::fldc::RefreshAdvisor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     let mut sim = Sim::new(SimConfig::small());
     sim.run_one(|os| make_files(os, "/adv", 60, 8 << 10).unwrap());
     let mut advisor = RefreshAdvisor::new(1.8);
@@ -472,7 +470,10 @@ fn refresh_advisor_fires_under_real_aging() {
         graybox_icl::apps::workload::read_files_in_order(os, &order).unwrap()
     });
     advisor.record(t_after.as_secs_f64());
-    assert!(!advisor.should_refresh(), "fresh directory must look healthy");
+    assert!(
+        !advisor.should_refresh(),
+        "fresh directory must look healthy"
+    );
 }
 
 #[test]

@@ -1,172 +1,193 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! invariants DESIGN.md calls out.
+//! Property-based tests over the core data structures and the invariants
+//! DESIGN.md calls out, on the in-tree deterministic harness
+//! (`gray_toolbox::prop`): fixed case counts, seeded generators, and a
+//! printed reproduction seed on failure (see DESIGN.md "Determinism and
+//! the hermetic build").
 
+use gray_toolbox::prop::{check, Gen};
+use gray_toolbox::rng::{SeedableRng, SliceRandom, StdRng};
+use gray_toolbox::{discard_outliers, kmeans1d, two_means, OnlineStats, OutlierPolicy, Summary};
 use graybox_icl::graybox::os::{GrayBoxOs, GrayBoxOsExt};
 use graybox_icl::simos::{CacheArch, Sim, SimConfig};
-use gray_toolbox::{discard_outliers, kmeans1d, two_means, OnlineStats, OutlierPolicy, Summary};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// --- Toolbox ---------------------------------------------------------
 
-    // --- Toolbox ---------------------------------------------------------
-
-    #[test]
-    fn online_stats_matches_batch(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+#[test]
+fn online_stats_matches_batch() {
+    check("online_stats_matches_batch", 64, |g: &mut Gen| {
+        let xs = g.vec(1..200, |g| g.f64(-1e6..1e6));
         let online = OnlineStats::from_slice(&xs);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        prop_assert!((online.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        assert!((online.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
-        prop_assert!((online.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
-    }
+        assert!((online.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+    });
+}
 
-    #[test]
-    fn online_merge_equals_concatenation(
-        a in prop::collection::vec(-1e5f64..1e5, 0..60),
-        b in prop::collection::vec(-1e5f64..1e5, 0..60),
-    ) {
+#[test]
+fn online_merge_equals_concatenation() {
+    check("online_merge_equals_concatenation", 64, |g: &mut Gen| {
+        let a = g.vec(0..60, |g| g.f64(-1e5..1e5));
+        let b = g.vec(0..60, |g| g.f64(-1e5..1e5));
         let mut merged = OnlineStats::from_slice(&a);
         merged.merge(&OnlineStats::from_slice(&b));
         let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
         let whole = OnlineStats::from_slice(&all);
-        prop_assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.count(), whole.count());
         if !all.is_empty() {
-            prop_assert!((merged.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+            assert!((merged.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn summary_percentiles_are_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+#[test]
+fn summary_percentiles_are_monotone() {
+    check("summary_percentiles_are_monotone", 64, |g: &mut Gen| {
+        let xs = g.vec(1..100, |g| g.f64(-1e6..1e6));
         let s = Summary::new(&xs);
         let mut last = f64::NEG_INFINITY;
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
             let v = s.percentile(p);
-            prop_assert!(v >= last, "percentile({p}) = {v} < {last}");
+            assert!(v >= last, "percentile({p}) = {v} < {last}");
             last = v;
         }
-        prop_assert_eq!(s.percentile(0.0), s.min());
-        prop_assert_eq!(s.percentile(100.0), s.max());
-    }
+        assert_eq!(s.percentile(0.0), s.min());
+        assert_eq!(s.percentile(100.0), s.max());
+    });
+}
 
-    #[test]
-    fn two_means_is_permutation_invariant(
-        xs in prop::collection::vec(0f64..1e6, 2..60),
-        seed in 0u64..1000,
-    ) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+#[test]
+fn two_means_is_permutation_invariant() {
+    check("two_means_is_permutation_invariant", 64, |g: &mut Gen| {
+        let xs = g.vec(2..60, |g| g.f64(0.0..1e6));
+        let seed = g.u64(0..1000);
         let c1 = two_means(&xs);
         let mut shuffled = xs.clone();
-        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        shuffled.shuffle(&mut StdRng::seed_from_u64(seed));
         let c2 = two_means(&shuffled);
-        prop_assert!((c1.within_ss - c2.within_ss).abs() < 1e-6 * (1.0 + c1.within_ss));
+        assert!((c1.within_ss - c2.within_ss).abs() < 1e-6 * (1.0 + c1.within_ss));
         let mut s1 = c1.sizes.clone();
         let mut s2 = c2.sizes.clone();
         s1.sort_unstable();
         s2.sort_unstable();
-        prop_assert_eq!(s1, s2);
-    }
+        assert_eq!(s1, s2);
+    });
+}
 
-    #[test]
-    fn kmeans_within_ss_decreases_with_k(xs in prop::collection::vec(0f64..1e4, 4..40)) {
+#[test]
+fn kmeans_within_ss_decreases_with_k() {
+    check("kmeans_within_ss_decreases_with_k", 64, |g: &mut Gen| {
+        let xs = g.vec(4..40, |g| g.f64(0.0..1e4));
         let w1 = kmeans1d(&xs, 1).within_ss;
         let w2 = kmeans1d(&xs, 2).within_ss;
         let w3 = kmeans1d(&xs, 3).within_ss;
-        prop_assert!(w2 <= w1 + 1e-9);
-        prop_assert!(w3 <= w2 + 1e-9);
-    }
+        assert!(w2 <= w1 + 1e-9);
+        assert!(w3 <= w2 + 1e-9);
+    });
+}
 
-    #[test]
-    fn outlier_filter_is_idempotent_under_iqr(
-        xs in prop::collection::vec(0f64..1e3, 3..80),
-    ) {
-        let policy = OutlierPolicy::Iqr { k: 1.5 };
-        let once = discard_outliers(&xs, policy);
-        let twice = discard_outliers(&once, policy);
-        // Filtering can only shrink, and survivors of the second pass are
-        // a subset of the first.
-        prop_assert!(twice.len() <= once.len());
-        prop_assert!(twice.iter().all(|x| once.contains(x)));
-    }
+#[test]
+fn outlier_filter_is_idempotent_under_iqr() {
+    check(
+        "outlier_filter_is_idempotent_under_iqr",
+        64,
+        |g: &mut Gen| {
+            let xs = g.vec(3..80, |g| g.f64(0.0..1e3));
+            let policy = OutlierPolicy::Iqr { k: 1.5 };
+            let once = discard_outliers(&xs, policy);
+            let twice = discard_outliers(&once, policy);
+            // Filtering can only shrink, and survivors of the second pass are
+            // a subset of the first.
+            assert!(twice.len() <= once.len());
+            assert!(twice.iter().all(|x| once.contains(x)));
+        },
+    );
+}
 
-    // --- Simulated OS ------------------------------------------------------
+// --- Simulated OS ------------------------------------------------------
 
-    #[test]
-    fn fs_contents_survive_arbitrary_write_read_sequences(
-        ops in prop::collection::vec((0u8..4, 0usize..6, 0u16..2048), 1..25)
-    ) {
-        // Model-based test: simos file contents vs a Vec<u8> model.
-        let mut sim = Sim::new(SimConfig::small().without_noise());
-        sim.run_one(move |os| {
-            let mut model: Vec<Vec<u8>> = vec![Vec::new(); 6];
-            let mut exists = [false; 6];
-            for (op, slot, len) in ops {
-                let path = format!("/m{slot}");
-                match op {
-                    0 => {
-                        // Write (create if needed) at a pseudo-random offset.
-                        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
-                        let off = (len as usize * 7) % 4000;
-                        if !exists[slot] {
-                            let fd = os.create(&path).unwrap();
+#[test]
+fn fs_contents_survive_arbitrary_write_read_sequences() {
+    check(
+        "fs_contents_survive_arbitrary_write_read_sequences",
+        64,
+        |g: &mut Gen| {
+            let ops = g.vec(1..25, |g| {
+                (g.range(0u8..4), g.usize(0..6), g.range(0u16..2048))
+            });
+            // Model-based test: simos file contents vs a Vec<u8> model.
+            let mut sim = Sim::new(SimConfig::small().without_noise());
+            sim.run_one(move |os| {
+                let mut model: Vec<Vec<u8>> = vec![Vec::new(); 6];
+                let mut exists = [false; 6];
+                for (op, slot, len) in ops {
+                    let path = format!("/m{slot}");
+                    match op {
+                        0 => {
+                            // Write (create if needed) at a pseudo-random offset.
+                            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+                            let off = (len as usize * 7) % 4000;
+                            if !exists[slot] {
+                                let fd = os.create(&path).unwrap();
+                                os.close(fd).unwrap();
+                                exists[slot] = true;
+                                model[slot].clear();
+                            }
+                            let fd = os.open(&path).unwrap();
+                            os.write_at(fd, off as u64, &data).unwrap();
                             os.close(fd).unwrap();
-                            exists[slot] = true;
-                            model[slot].clear();
+                            if model[slot].len() < off + data.len() {
+                                model[slot].resize(off + data.len(), 0);
+                            }
+                            model[slot][off..off + data.len()].copy_from_slice(&data);
                         }
-                        let fd = os.open(&path).unwrap();
-                        os.write_at(fd, off as u64, &data).unwrap();
-                        os.close(fd).unwrap();
-                        if model[slot].len() < off + data.len() {
-                            model[slot].resize(off + data.len(), 0);
+                        1 => {
+                            // Full read-back and compare.
+                            if exists[slot] {
+                                let got = os.read_to_vec(&path).unwrap();
+                                assert_eq!(got, model[slot], "content mismatch on {path}");
+                            }
                         }
-                        model[slot][off..off + data.len()].copy_from_slice(&data);
-                    }
-                    1 => {
-                        // Full read-back and compare.
-                        if exists[slot] {
-                            let got = os.read_to_vec(&path).unwrap();
-                            assert_eq!(got, model[slot], "content mismatch on {path}");
+                        2 => {
+                            // Unlink.
+                            if exists[slot] {
+                                os.unlink(&path).unwrap();
+                                exists[slot] = false;
+                                model[slot].clear();
+                            }
                         }
-                    }
-                    2 => {
-                        // Unlink.
-                        if exists[slot] {
-                            os.unlink(&path).unwrap();
-                            exists[slot] = false;
-                            model[slot].clear();
-                        }
-                    }
-                    _ => {
-                        // Rename to a sibling slot if free.
-                        let dst_slot = (slot + 1) % 6;
-                        let dst = format!("/m{dst_slot}");
-                        if exists[slot] && !exists[dst_slot] {
-                            os.rename(&path, &dst).unwrap();
-                            exists[slot] = false;
-                            exists[dst_slot] = true;
-                            model[dst_slot] = std::mem::take(&mut model[slot]);
+                        _ => {
+                            // Rename to a sibling slot if free.
+                            let dst_slot = (slot + 1) % 6;
+                            let dst = format!("/m{dst_slot}");
+                            if exists[slot] && !exists[dst_slot] {
+                                os.rename(&path, &dst).unwrap();
+                                exists[slot] = false;
+                                exists[dst_slot] = true;
+                                model[dst_slot] = std::mem::take(&mut model[slot]);
+                            }
                         }
                     }
                 }
-            }
-            // Final sweep.
-            for slot in 0..6 {
-                if exists[slot] {
-                    let got = os.read_to_vec(&format!("/m{slot}")).unwrap();
-                    assert_eq!(got, model[slot]);
+                // Final sweep.
+                for slot in 0..6 {
+                    if exists[slot] {
+                        let got = os.read_to_vec(&format!("/m{slot}")).unwrap();
+                        assert_eq!(got, model[slot]);
+                    }
                 }
-            }
-        });
-    }
+            });
+        },
+    );
+}
 
-    #[test]
-    fn cache_never_exceeds_capacity(
-        accesses in prop::collection::vec((0u64..4, 0u64..64, prop::bool::ANY), 1..300),
-        capacity in 4u64..64,
-    ) {
-        let mut cache = graybox_icl::simos::cache::PageCache::new(
-            CacheArch::Unified, capacity, 4096,
-        );
+#[test]
+fn cache_never_exceeds_capacity() {
+    check("cache_never_exceeds_capacity", 64, |g: &mut Gen| {
+        let accesses = g.vec(1..300, |g| (g.u64(0..4), g.u64(0..64), g.bool()));
+        let capacity = g.u64(4..64);
+        let mut cache =
+            graybox_icl::simos::cache::PageCache::new(CacheArch::Unified, capacity, 4096);
         for (ino, page, dirty) in accesses {
             let id = graybox_icl::simos::cache::PageId {
                 owner: graybox_icl::simos::cache::Owner::File { dev: 0, ino },
@@ -175,32 +196,39 @@ proptest! {
             if !cache.lookup_touch(id) {
                 cache.insert(id, dirty);
             }
-            prop_assert!(cache.resident_pages() as u64 <= capacity);
+            assert!(cache.resident_pages() as u64 <= capacity);
         }
-    }
+    });
+}
 
-    #[test]
-    fn sticky_cache_never_exceeds_capacity_either(
-        accesses in prop::collection::vec((0u64..4, 0u64..64), 1..300),
-        capacity in 4u64..64,
-    ) {
-        let mut cache = graybox_icl::simos::cache::PageCache::new(
-            CacheArch::UnifiedSticky, capacity, 4096,
-        );
-        for (ino, page) in accesses {
-            let id = graybox_icl::simos::cache::PageId {
-                owner: graybox_icl::simos::cache::Owner::File { dev: 0, ino },
-                page,
-            };
-            if !cache.lookup_touch(id) {
-                cache.insert(id, false);
+#[test]
+fn sticky_cache_never_exceeds_capacity_either() {
+    check(
+        "sticky_cache_never_exceeds_capacity_either",
+        64,
+        |g: &mut Gen| {
+            let accesses = g.vec(1..300, |g| (g.u64(0..4), g.u64(0..64)));
+            let capacity = g.u64(4..64);
+            let mut cache =
+                graybox_icl::simos::cache::PageCache::new(CacheArch::UnifiedSticky, capacity, 4096);
+            for (ino, page) in accesses {
+                let id = graybox_icl::simos::cache::PageId {
+                    owner: graybox_icl::simos::cache::Owner::File { dev: 0, ino },
+                    page,
+                };
+                if !cache.lookup_touch(id) {
+                    cache.insert(id, false);
+                }
+                assert!(cache.resident_pages() as u64 <= capacity);
             }
-            prop_assert!(cache.resident_pages() as u64 <= capacity);
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn memory_round_trips_through_swap(extra_pages in 1u64..64) {
+#[test]
+fn memory_round_trips_through_swap() {
+    check("memory_round_trips_through_swap", 16, |g: &mut Gen| {
+        let extra_pages = g.u64(1..64);
         // Write-touch more pages than memory holds, then read back: every
         // page must come back (value plumbing is modelled; what matters is
         // no lost pages, no panics, monotone time).
@@ -223,10 +251,10 @@ proptest! {
             }
             os.mem_free(r).unwrap();
         });
-    }
+    });
 }
 
-// Determinism deserves exact (non-proptest) treatment: full trace equality.
+// Determinism deserves exact (non-randomized) treatment: full trace equality.
 #[test]
 fn simulation_replays_identically() {
     let run = || {
@@ -234,7 +262,8 @@ fn simulation_replays_identically() {
         let t = sim.run_one(|os| {
             os.mkdir("/d").unwrap();
             for i in 0..20 {
-                os.write_file(&format!("/d/f{i}"), &vec![i as u8; 3000]).unwrap();
+                os.write_file(&format!("/d/f{i}"), &vec![i as u8; 3000])
+                    .unwrap();
             }
             let fldc = graybox_icl::graybox::fldc::Fldc::new(os);
             let ranks = fldc.order_directory("/d").unwrap();
