@@ -25,6 +25,13 @@ use gray_toolbox::GrayDuration;
 use graybox::mac::{Mac, MacParams, MacStats};
 use graybox::os::{Fd, GrayBoxOs, OsError, OsResult};
 
+/// Upper bound on one `mem_probe_batch` issued by the modelled sort.
+/// Batching amortizes syscall dispatch, but a batch is also one scheduling
+/// point in the simulator — an unbounded whole-buffer sweep would let four
+/// competing sorts reclaim each other's pages in lock-step convoys instead
+/// of the fine-grained interleaving a real touch loop produces.
+const TOUCH_BATCH: u64 = 64;
+
 /// How pass sizes are chosen.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PassPolicy {
@@ -183,8 +190,12 @@ impl<'a, O: GrayBoxOs> FastSort<'a, O> {
                 }
                 let first_page = done / page;
                 let last_page = (done + n - 1) / page;
-                for p in first_page..=last_page {
-                    self.os.mem_touch_write(region, p)?;
+                for batch_start in (first_page..=last_page).step_by(TOUCH_BATCH as usize) {
+                    let batch_end = (batch_start + TOUCH_BATCH - 1).min(last_page);
+                    let plan: Vec<u64> = (batch_start..=batch_end).collect();
+                    if self.os.mem_probe_batch(region, &plan).iter().any(|s| !s.ok) {
+                        return Err(OsError::InvalidArgument);
+                    }
                 }
                 done += n;
             }
@@ -199,8 +210,17 @@ impl<'a, O: GrayBoxOs> FastSort<'a, O> {
                     .compute(self.cfg.sort_cost_per_record * records * log2.max(1) / 8);
             }
             for _ in 0..2 {
-                for p in 0..buf_pages {
-                    self.os.mem_touch_write(region, p)?;
+                for batch_start in (0..buf_pages).step_by(TOUCH_BATCH as usize) {
+                    let batch_end = (batch_start + TOUCH_BATCH).min(buf_pages);
+                    let sweep: Vec<u64> = (batch_start..batch_end).collect();
+                    if self
+                        .os
+                        .mem_probe_batch(region, &sweep)
+                        .iter()
+                        .any(|s| !s.ok)
+                    {
+                        return Err(OsError::InvalidArgument);
+                    }
                 }
             }
             report.sort_time += self.os.now().since(t0);

@@ -1,84 +1,11 @@
-//! Timing ablations for the design choices DESIGN.md calls out:
-//! probe rounds, differentiation strategy (sort vs cluster vs threshold),
-//! and the MAC increment policy (fixed vs doubling).
+//! `cargo bench --bench ablations` — see `gray_bench::suites::ablations`.
 
-use gray_bench::{tiny_corpus, tiny_fccd, tiny_sim};
 use gray_toolbox::bench::Harness;
-use gray_toolbox::two_means;
-use graybox::fccd::{Fccd, FccdParams};
-use graybox::mac::{Mac, MacParams};
-use std::hint::black_box;
 use std::time::Duration;
-
-fn bench_ablations(h: &mut Harness) {
-    // Probe rounds: more rounds buy confidence at probing cost.
-    for rounds in [1u32, 3] {
-        h.bench_function(&format!("fccd_probe_rounds_{rounds}"), |b| {
-            let mut sim = tiny_sim();
-            let paths = tiny_corpus(&mut sim, 8, 512 << 10);
-            b.iter(|| {
-                let paths = paths.clone();
-                sim.run_one(move |os| {
-                    let params = FccdParams {
-                        probe_rounds: rounds,
-                        ..tiny_fccd()
-                    };
-                    black_box(Fccd::new(os, params).order_files(&paths).len())
-                })
-            })
-        });
-    }
-
-    // Differentiation strategy on a bimodal probe-time population:
-    // sorting (the paper's thresholdless choice) vs exact 2-means.
-    let times: Vec<f64> = (0..256)
-        .map(|i| {
-            if i % 3 == 0 {
-                5_000_000.0
-            } else {
-                2_000.0 + i as f64
-            }
-        })
-        .collect();
-    h.bench_function("differentiate_by_sort", |b| {
-        b.iter(|| {
-            let mut t = times.clone();
-            t.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            black_box(t[0])
-        })
-    });
-    h.bench_function("differentiate_by_two_means", |b| {
-        b.iter(|| black_box(two_means(&times).within_ss))
-    });
-
-    // MAC increment policy: fixed small increments probe many more pages
-    // than doubling-with-backoff for the same answer.
-    for (label, initial, max) in [
-        ("fixed", 256u64 << 10, 256u64 << 10),
-        ("doubling", 256 << 10, 4 << 20),
-    ] {
-        h.bench_function(&format!("mac_increment_{label}"), |b| {
-            let mut sim = tiny_sim();
-            b.iter(|| {
-                sim.run_one(|os| {
-                    let mac = Mac::new(
-                        os,
-                        MacParams {
-                            initial_increment: initial,
-                            max_increment: max,
-                            ..MacParams::default()
-                        },
-                    );
-                    black_box(mac.available_estimate(12 << 20).unwrap())
-                })
-            })
-        });
-    }
-}
 
 fn main() {
     let mut h = Harness::new()
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
-    bench_ablations(&mut h);
+    gray_bench::suites::ablations::register(&mut h);
 }

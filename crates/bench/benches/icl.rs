@@ -1,58 +1,11 @@
-//! End-to-end ICL operation benchmarks on a small simulated machine.
+//! `cargo bench --bench icl` — see `gray_bench::suites::icl`.
 
-use gray_bench::{tiny_corpus, tiny_fccd, tiny_sim};
 use gray_toolbox::bench::Harness;
-use graybox::fccd::Fccd;
-use graybox::fldc::Fldc;
-use graybox::mac::{Mac, MacParams};
-use std::hint::black_box;
 use std::time::Duration;
-
-fn bench_icl(h: &mut Harness) {
-    h.bench_function("fccd_order_16_files", |b| {
-        let mut sim = tiny_sim();
-        let paths = tiny_corpus(&mut sim, 16, 256 << 10);
-        b.iter(|| {
-            let paths = paths.clone();
-            sim.run_one(move |os| {
-                let fccd = Fccd::new(os, tiny_fccd());
-                black_box(fccd.order_files(&paths).len())
-            })
-        })
-    });
-
-    h.bench_function("fldc_order_directory_64", |b| {
-        let mut sim = tiny_sim();
-        let _ = tiny_corpus(&mut sim, 64, 8 << 10);
-        b.iter(|| {
-            sim.run_one(|os| {
-                let fldc = Fldc::new(os);
-                black_box(fldc.order_directory("/bench").unwrap().len())
-            })
-        })
-    });
-
-    h.bench_function("mac_available_estimate", |b| {
-        let mut sim = tiny_sim();
-        b.iter(|| {
-            sim.run_one(|os| {
-                let mac = Mac::new(
-                    os,
-                    MacParams {
-                        initial_increment: 256 << 10,
-                        max_increment: 4 << 20,
-                        ..MacParams::default()
-                    },
-                );
-                black_box(mac.available_estimate(16 << 20).unwrap())
-            })
-        })
-    });
-}
 
 fn main() {
     let mut h = Harness::new()
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
-    bench_icl(&mut h);
+    gray_bench::suites::icl::register(&mut h);
 }

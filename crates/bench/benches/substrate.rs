@@ -1,90 +1,11 @@
-//! Benchmarks for the simulated substrate: how fast does the simulator
-//! itself simulate? (Page-granularity experiments run millions of these.)
+//! `cargo bench --bench substrate` — see `gray_bench::suites::substrate`.
 
-use gray_bench::tiny_sim;
 use gray_toolbox::bench::Harness;
-use graybox::os::GrayBoxOs;
-use std::hint::black_box;
 use std::time::Duration;
-
-fn bench_substrate(h: &mut Harness) {
-    h.bench_function("disk_service_time_random", |b| {
-        let mut disk = simos::disk::Disk::new(simos::DiskParams::default(), 4096);
-        let mut now = gray_toolbox::Nanos::ZERO;
-        let mut block = 1u64;
-        b.iter(|| {
-            block = (block.wrapping_mul(6364136223846793005).wrapping_add(1)) % disk.blocks();
-            now = disk.transfer(now, block, 1);
-            black_box(now)
-        })
-    });
-
-    h.bench_function("cache_insert_lookup", |b| {
-        let mut cache = simos::cache::PageCache::new(simos::CacheArch::Unified, 4096, 4096);
-        let mut page = 0u64;
-        b.iter(|| {
-            let id = simos::cache::PageId {
-                owner: simos::cache::Owner::File { dev: 0, ino: 42 },
-                page: page % 8192,
-            };
-            page += 1;
-            if !cache.lookup_touch(id) {
-                black_box(cache.insert(id, false));
-            }
-        })
-    });
-
-    h.bench_function("sim_sequential_read_1mb", |b| {
-        let mut sim = tiny_sim();
-        sim.run_one(|os| {
-            let fd = os.create("/seq").unwrap();
-            os.write_fill(fd, 0, 8 << 20).unwrap();
-            os.close(fd).unwrap();
-        });
-        let mut off = 0u64;
-        b.iter(|| {
-            let o = off % (7 << 20);
-            off += 1 << 20;
-            sim.run_one(move |os| {
-                let fd = os.open("/seq").unwrap();
-                let n = os.read_discard(fd, o, 1 << 20).unwrap();
-                os.close(fd).unwrap();
-                black_box(n)
-            })
-        })
-    });
-
-    h.bench_function("sim_mem_touch_resident", |b| {
-        let mut sim = tiny_sim();
-        b.iter(|| {
-            sim.run_one(|os| {
-                let r = os.mem_alloc(64 * 4096).unwrap();
-                for p in 0..64 {
-                    os.mem_touch_write(r, p).unwrap();
-                }
-                os.mem_free(r).unwrap();
-            })
-        })
-    });
-
-    h.bench_function("fs_create_unlink", |b| {
-        let mut sim = tiny_sim();
-        let mut i = 0u64;
-        b.iter(|| {
-            let path = format!("/churn{i}");
-            i += 1;
-            sim.run_one(move |os| {
-                let fd = os.create(&path).unwrap();
-                os.close(fd).unwrap();
-                os.unlink(&path).unwrap();
-            })
-        })
-    });
-}
 
 fn main() {
     let mut h = Harness::new()
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
-    bench_substrate(&mut h);
+    gray_bench::suites::substrate::register(&mut h);
 }

@@ -1,64 +1,11 @@
-//! Benchmarks for the gray toolbox's statistical primitives — these run on
-//! every probe's hot path, so they must stay cheap.
+//! `cargo bench --bench toolbox` — see `gray_bench::suites::toolbox`.
 
-use gray_toolbox::bench::{BatchSize, Harness};
-use gray_toolbox::{
-    discard_outliers, paired_sign_test, two_means, OnlineStats, OutlierPolicy, Summary,
-};
-use std::hint::black_box;
+use gray_toolbox::bench::Harness;
 use std::time::Duration;
-
-fn data(n: usize) -> Vec<f64> {
-    (0..n)
-        .map(|i| {
-            if i % 7 == 0 {
-                5000.0
-            } else {
-                10.0 + (i % 13) as f64
-            }
-        })
-        .collect()
-}
-
-fn bench_toolbox(h: &mut Harness) {
-    let xs = data(1024);
-
-    h.bench_function("online_stats_push_1k", |b| {
-        b.iter_batched(
-            OnlineStats::new,
-            |mut s| {
-                for &x in &xs {
-                    s.push(x);
-                }
-                black_box(s.stddev())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-
-    h.bench_function("summary_median_1k", |b| {
-        b.iter(|| black_box(Summary::new(&xs).median()))
-    });
-
-    h.bench_function("two_means_256", |b| {
-        let small = data(256);
-        b.iter(|| black_box(two_means(&small).within_ss))
-    });
-
-    h.bench_function("discard_outliers_mad_1k", |b| {
-        b.iter(|| black_box(discard_outliers(&xs, OutlierPolicy::default()).len()))
-    });
-
-    h.bench_function("paired_sign_test_64", |b| {
-        let before = data(64);
-        let after: Vec<f64> = before.iter().map(|x| x * 1.1).collect();
-        b.iter(|| black_box(paired_sign_test(&before, &after).p_value))
-    });
-}
 
 fn main() {
     let mut h = Harness::new()
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
-    bench_toolbox(&mut h);
+    gray_bench::suites::toolbox::register(&mut h);
 }

@@ -1,0 +1,76 @@
+//! The benchmark runner: sweeps every suite and persists a baseline file.
+//!
+//! ```text
+//! cargo run --release -p gray-bench --bin bench              # full run → BENCH_PR3.json
+//! cargo run --release -p gray-bench --bin bench -- --smoke   # 1 warmup + 1 iter each → BENCH_SMOKE.json
+//! cargo run --release -p gray-bench --bin bench -- fccd      # substring filter, as with cargo bench
+//! ```
+//!
+//! The baseline file holds one entry per suite with the per-benchmark
+//! summaries (mean/stddev/min and friends), plus the scalar-vs-batched
+//! speedup of the FCCD full-file probe — the headline number for the
+//! vectored probe engine. Smoke runs write to a separate file so a CI
+//! invocation in a checkout can never clobber a committed baseline with
+//! single-iteration noise.
+
+use gray_bench::suites;
+use gray_toolbox::bench::Harness;
+use std::time::Duration;
+
+/// Baseline file for full runs (committed at the repo root).
+const BASELINE: &str = "BENCH_PR3.json";
+/// Output for smoke runs (existence proof only, never committed).
+const SMOKE_OUT: &str = "BENCH_SMOKE.json";
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+
+    let mut sections = Vec::new();
+    let mut scalar_mean = None;
+    let mut batched_mean = None;
+
+    for (target, register) in suites::ALL {
+        println!("=== {target} ===");
+        // A fresh harness per suite: per-suite budgets, and the figures
+        // suite's group prefix cannot leak into the next suite.
+        let mut h = Harness::new()
+            .warm_up_time(Duration::from_millis(250))
+            .measurement_time(Duration::from_secs(1));
+        register(&mut h);
+        for r in h.results() {
+            if r.name == suites::icl::PROBE_SCALAR {
+                scalar_mean = Some(r.mean_ns);
+            }
+            if r.name == suites::icl::PROBE_BATCHED {
+                batched_mean = Some(r.mean_ns);
+            }
+        }
+        let entries: Vec<String> = h
+            .results()
+            .iter()
+            .map(|r| format!("    {}", r.json()))
+            .collect();
+        sections.push(format!("  \"{target}\": [\n{}\n  ]", entries.join(",\n")));
+    }
+
+    let speedup = match (scalar_mean, batched_mean) {
+        (Some(s), Some(b)) if b > 0.0 => {
+            let x = s / b;
+            println!("\nfccd probe engine: scalar {s:.0} ns vs batched {b:.0} ns → {x:.2}x");
+            format!(
+                ",\n  \"fccd_probe_speedup\": {{\"scalar_mean_ns\":{s:.1},\
+                 \"batched_mean_ns\":{b:.1},\"speedup\":{x:.3}}}"
+            )
+        }
+        // Filtered out (or smoke-filtered): no headline entry.
+        _ => String::new(),
+    };
+
+    let json = format!(
+        "{{\n  \"schema\": \"gray-bench-baseline/v1\",\n  \"smoke\": {smoke},\n{}{speedup}\n}}\n",
+        sections.join(",\n")
+    );
+    let out = if smoke { SMOKE_OUT } else { BASELINE };
+    std::fs::write(out, &json).expect("write baseline file");
+    println!("\nwrote {out}");
+}

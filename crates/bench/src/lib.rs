@@ -16,6 +16,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod suites;
+
 use gray_apps::workload::make_files;
 use graybox::os::GrayBoxOs;
 use simos::{Sim, SimConfig};

@@ -1,0 +1,41 @@
+//! One benchmark per paper table and figure: each runs a reduced-size
+//! version of the corresponding `repro` harness, so regressions in any
+//! experiment's cost show up here.
+
+use gray_toolbox::bench::Harness;
+use repro::Scale;
+use std::hint::black_box;
+
+/// Registers the figure benchmarks.
+pub fn register(h: &mut Harness) {
+    h.group("paper");
+
+    h.bench_function("table1", |b| {
+        b.iter(|| black_box(repro::tables::render_table1().len()))
+    });
+    h.bench_function("table2", |b| {
+        b.iter(|| black_box(repro::tables::render_table2().len()))
+    });
+    h.bench_function("fig1_probe_correlation", |b| {
+        b.iter(|| black_box(repro::fig1::run(Scale::Tiny).cells.len()))
+    });
+    h.bench_function("fig2_single_file_scan", |b| {
+        b.iter(|| black_box(repro::fig2::run(Scale::Tiny).points.len()))
+    });
+    h.bench_function("fig3_applications", |b| {
+        b.iter(|| black_box(repro::fig3::run(Scale::Tiny).grep.normalized()))
+    });
+    h.bench_function("fig4_multi_platform", |b| {
+        b.iter(|| black_box(repro::fig4::run(Scale::Tiny).rows.len()))
+    });
+    h.bench_function("fig5_file_ordering", |b| {
+        b.iter(|| black_box(repro::fig5::run(Scale::Tiny).rows.len()))
+    });
+    h.bench_function("fig6_aging", |b| {
+        b.iter(|| black_box(repro::fig6::run_with(Scale::Tiny, 6, 5).points.len()))
+    });
+    h.bench_function("fig7_sort_with_mac", |b| {
+        b.iter(|| black_box(repro::fig7::run(Scale::Tiny).points.len()))
+    });
+    h.finish_group();
+}

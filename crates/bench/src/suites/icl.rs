@@ -1,0 +1,123 @@
+//! End-to-end ICL operation benchmarks on a small simulated machine,
+//! including the scalar-vs-batched probe engine comparison.
+
+use crate::{tiny_corpus, tiny_fccd, tiny_sim};
+use gray_toolbox::bench::Harness;
+use graybox::fccd::Fccd;
+use graybox::fldc::Fldc;
+use graybox::mac::{Mac, MacParams};
+use graybox::os::{GrayBoxOs, ProbeSpec};
+use simos::Sim;
+use std::hint::black_box;
+
+/// Bench name of the scalar full-file probe (the runner reads its mean
+/// to report the batching speedup).
+pub const PROBE_SCALAR: &str = "fccd_probe_file_scalar";
+/// Bench name of the batched full-file probe.
+pub const PROBE_BATCHED: &str = "fccd_probe_file_batched";
+
+/// Pages in the probe-engine comparison file.
+const PROBE_PAGES: u64 = 256;
+/// Probes per measured pass (a full-file FCCD probe plan's worth).
+const PROBE_COUNT: u64 = 512;
+
+/// The same deterministic offsets for both probe paths — what an FCCD
+/// full-file probe issues, minus the RNG.
+fn probe_specs() -> Vec<ProbeSpec> {
+    (0..PROBE_COUNT)
+        .map(|i| ProbeSpec {
+            offset: ((i * 37) % PROBE_PAGES) * 4096,
+        })
+        .collect()
+}
+
+/// A tiny sim with one fully warm file to probe.
+fn probe_sim() -> Sim {
+    let mut sim = tiny_sim();
+    sim.run_one(|os| {
+        let fd = os.create("/probe").unwrap();
+        os.write_fill(fd, 0, PROBE_PAGES * 4096).unwrap();
+        os.read_discard(fd, 0, PROBE_PAGES * 4096).unwrap();
+        os.close(fd).unwrap();
+    });
+    sim
+}
+
+/// Registers the ICL benchmarks.
+pub fn register(h: &mut Harness) {
+    h.bench_function("fccd_order_16_files", |b| {
+        let mut sim = tiny_sim();
+        let paths = tiny_corpus(&mut sim, 16, 256 << 10);
+        b.iter(|| {
+            let paths = paths.clone();
+            sim.run_one(move |os| {
+                let fccd = Fccd::new(os, tiny_fccd());
+                black_box(fccd.order_files(&paths).len())
+            })
+        })
+    });
+
+    h.bench_function("fldc_order_directory_64", |b| {
+        let mut sim = tiny_sim();
+        let _ = tiny_corpus(&mut sim, 64, 8 << 10);
+        b.iter(|| {
+            sim.run_one(|os| {
+                let fldc = Fldc::new(os);
+                black_box(fldc.order_directory("/bench").unwrap().len())
+            })
+        })
+    });
+
+    h.bench_function("mac_available_estimate", |b| {
+        let mut sim = tiny_sim();
+        b.iter(|| {
+            sim.run_one(|os| {
+                let mac = Mac::new(
+                    os,
+                    MacParams {
+                        initial_increment: 256 << 10,
+                        max_increment: 4 << 20,
+                        ..MacParams::default()
+                    },
+                );
+                black_box(mac.available_estimate(16 << 20).unwrap())
+            })
+        })
+    });
+
+    // The probe-engine comparison: identical probe sets through the
+    // scalar per-probe path (three kernel entries per probe: now, read,
+    // now — each its own lock acquisition and scheduler pass) and through
+    // one vectored `probe_batch` call. Host time only; the simulated
+    // virtual-time answer is identical by construction.
+    h.bench_function(PROBE_SCALAR, |b| {
+        let mut sim = probe_sim();
+        b.iter(|| {
+            let specs = probe_specs();
+            sim.run_one(move |os| {
+                let fd = os.open("/probe").unwrap();
+                let mut acc = 0u64;
+                for spec in &specs {
+                    let (res, elapsed) = os.timed(|o| o.read_byte(fd, spec.offset));
+                    res.unwrap();
+                    acc += elapsed.as_nanos();
+                }
+                os.close(fd).unwrap();
+                black_box(acc)
+            })
+        })
+    });
+
+    h.bench_function(PROBE_BATCHED, |b| {
+        let mut sim = probe_sim();
+        b.iter(|| {
+            let specs = probe_specs();
+            sim.run_one(move |os| {
+                let fd = os.open("/probe").unwrap();
+                let samples = os.probe_batch(fd, &specs);
+                os.close(fd).unwrap();
+                black_box(samples.iter().map(|s| s.elapsed.as_nanos()).sum::<u64>())
+            })
+        })
+    });
+}

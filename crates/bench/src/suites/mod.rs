@@ -1,0 +1,24 @@
+//! The benchmark suites, one module per `cargo bench` target. Each
+//! exposes `register(&mut Harness)` so the same registrations serve both
+//! the per-target bench binaries and the `bench` runner that sweeps all
+//! of them into one baseline file.
+
+pub mod ablations;
+pub mod figures;
+pub mod icl;
+pub mod substrate;
+pub mod toolbox;
+
+use gray_toolbox::bench::Harness;
+
+/// A suite's registration entry point.
+pub type Register = fn(&mut Harness);
+
+/// All suites, in baseline-file order: `(target name, register fn)`.
+pub const ALL: [(&str, Register); 5] = [
+    ("toolbox", toolbox::register),
+    ("substrate", substrate::register),
+    ("icl", icl::register),
+    ("figures", figures::register),
+    ("ablations", ablations::register),
+];

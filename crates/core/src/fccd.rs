@@ -29,6 +29,12 @@
 //! would be self-confounding, because a previous probe (by this process or a
 //! concurrent one) leaves exactly the probed page cached and a re-probe
 //! would then report the whole unit resident.
+//!
+//! All of a file's probes are planned up front (offsets drawn in one RNG
+//! borrow) and issued as a single [`GrayBoxOs::probe_batch`] call, which
+//! backends service with amortized dispatch. Batching changes neither which
+//! pages are touched nor their order, so the Heisenberg footprint is the
+//! same as the scalar loop's.
 
 use std::cell::RefCell;
 
@@ -36,7 +42,7 @@ use gray_toolbox::rng::StdRng;
 use gray_toolbox::rng::{RngExt, SeedableRng};
 use gray_toolbox::{two_means, GrayDuration};
 
-use crate::os::{Fd, GrayBoxOs, OsResult};
+use crate::os::{Fd, GrayBoxOs, OsResult, ProbeSample, ProbeSpec};
 use crate::technique::{Technique, TechniqueInventory};
 
 /// Tuning parameters for the detector.
@@ -252,6 +258,22 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
     /// Heisenberg) and instead receive
     /// [`FccdParams::small_file_penalty`].
     pub fn probe_file(&self, fd: Fd, size: u64) -> FileProbeReport {
+        self.probe_file_impl(fd, size, true)
+    }
+
+    /// Reference implementation of [`probe_file`](Fccd::probe_file) that
+    /// dispatches every probe as an individual timed 1-byte read instead
+    /// of one vectored [`GrayBoxOs::probe_batch`] call.
+    ///
+    /// Same plan, same RNG draws, same fold — only the dispatch differs.
+    /// Kept public to pin the batched engine: the equivalence property
+    /// tests assert both paths classify identical cache states
+    /// identically, and the benches report the speedup between them.
+    pub fn probe_file_scalar(&self, fd: Fd, size: u64) -> FileProbeReport {
+        self.probe_file_impl(fd, size, false)
+    }
+
+    fn probe_file_impl(&self, fd: Fd, size: u64, batched: bool) -> FileProbeReport {
         let mut report = FileProbeReport::default();
         if size == 0 {
             return report;
@@ -265,12 +287,69 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
             });
             return report;
         }
-        for (offset, len) in self.access_units(size) {
+        // Plan the whole file's probes up front: every random offset is
+        // drawn under a single RNG borrow, in the same order the scalar
+        // loop drew them (access unit, then prediction unit, then round),
+        // so a fixed seed places probes identically either way. The plan
+        // then goes down as one vectored `probe_batch` call.
+        let units = self.access_units(size);
+        let rounds = self.params.probe_rounds;
+        let mut specs = Vec::new();
+        let mut unit_probes = Vec::with_capacity(units.len());
+        {
+            let mut rng = self.rng.borrow_mut();
+            for &(offset, len) in &units {
+                let mut probes = 0u32;
+                for (p_off, p_len) in chunks(offset, len, self.params.prediction_unit) {
+                    debug_assert!(p_len > 0);
+                    for _ in 0..rounds {
+                        specs.push(ProbeSpec {
+                            offset: p_off + rng.random_range(0..p_len),
+                        });
+                    }
+                    probes += rounds;
+                }
+                unit_probes.push(probes);
+            }
+        }
+        let samples = if batched {
+            self.os.probe_batch(fd, &specs)
+        } else {
+            specs
+                .iter()
+                .map(|spec| {
+                    let (res, elapsed) = self.os.timed(|os| os.read_byte(fd, spec.offset));
+                    ProbeSample {
+                        offset: spec.offset,
+                        elapsed,
+                        ok: res.is_ok(),
+                    }
+                })
+                .collect()
+        };
+        debug_assert_eq!(samples.len(), specs.len(), "one sample per spec");
+        // Fold samples back through the same shape: minimum over the
+        // rounds of each prediction unit, summed per access unit.
+        let mut cursor = samples.iter();
+        for (&(offset, len), &probes) in units.iter().zip(&unit_probes) {
             let mut total = GrayDuration::ZERO;
-            let mut probes = 0u32;
-            for (p_off, p_len) in chunks(offset, len, self.params.prediction_unit) {
-                total += self.probe_prediction_unit(fd, p_off, p_len);
-                probes += self.params.probe_rounds;
+            for _ in 0..probes / rounds {
+                let mut best: Option<GrayDuration> = None;
+                for _ in 0..rounds {
+                    let s = cursor.next().expect("sample count checked above");
+                    let t = if s.ok {
+                        s.elapsed
+                    } else {
+                        // A failed probe tells us nothing good about
+                        // residency.
+                        self.params.small_file_penalty
+                    };
+                    best = Some(match best {
+                        None => t,
+                        Some(b) => b.min(t),
+                    });
+                }
+                total += best.expect("probe_rounds >= 1");
             }
             report.units.push(UnitProbe {
                 offset,
@@ -361,28 +440,6 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
     pub fn access_units(&self, size: u64) -> Vec<(u64, u64)> {
         let au = snap_down(self.params.access_unit, self.params.align).max(self.params.align);
         chunks(0, size, au)
-    }
-
-    /// Probes one prediction unit: reads one random byte per round and
-    /// keeps the fastest observation.
-    fn probe_prediction_unit(&self, fd: Fd, offset: u64, len: u64) -> GrayDuration {
-        debug_assert!(len > 0);
-        let mut best: Option<GrayDuration> = None;
-        for _ in 0..self.params.probe_rounds {
-            let pos = offset + self.rng.borrow_mut().random_range(0..len);
-            let (res, t) = self.os.timed(|os| os.read_byte(fd, pos));
-            let t = if res.is_ok() {
-                t
-            } else {
-                // A failed probe tells us nothing good about residency.
-                self.params.small_file_penalty
-            };
-            best = Some(match best {
-                None => t,
-                Some(b) => b.min(t),
-            });
-        }
-        best.expect("probe_rounds >= 1")
     }
 
     fn rank_one(&self, path: &str) -> FileRank {

@@ -29,6 +29,13 @@
 //! fixed maximum increment), and collapse back to the initial increment
 //! when a problem is detected.
 //!
+//! Probes are issued through [`GrayBoxOs::mem_probe_batch`] — the first
+//! loop in bounded sub-batches (so daemon detection still stops growth
+//! promptly), the verification loop as one batch (its verdict is monotone
+//! in the slow count, so no early exit is lost). Batching changes which
+//! syscalls carry the probes, not which pages get touched or how each
+//! touch is timed.
+//!
 //! # Thresholds
 //!
 //! Unlike FCCD, MAC must classify each touch *on line*, so it needs actual
@@ -51,8 +58,14 @@ use std::cell::RefCell;
 use gray_toolbox::repository::keys;
 use gray_toolbox::{GrayDuration, ParamRepository, Summary};
 
-use crate::os::{GrayBoxOs, MemRegion, OsResult};
+use crate::os::{GrayBoxOs, MemRegion, OsError, OsResult};
 use crate::technique::{Technique, TechniqueInventory};
+
+/// Pages per first-loop probe sub-batch. Batching amortizes dispatch, but
+/// the first loop must stop touching soon after the page daemon wakes up;
+/// a bounded sub-batch caps the overshoot past the detection point at one
+/// batch while still amortizing the common (all-fast) case.
+const FIRST_LOOP_BATCH: u64 = 64;
 
 /// Tuning parameters for the admission controller.
 #[derive(Debug, Clone, PartialEq)]
@@ -236,8 +249,16 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
                 // caller's perspective.
                 let region = self.os.mem_alloc(admitted)?;
                 let pages = admitted.div_ceil(page);
-                for p in 0..pages {
-                    self.os.mem_touch_write(region, p)?;
+                // Bounded batches, so making the admitted region resident
+                // is not one atomic sweep that starves competitors of
+                // scheduling points.
+                for batch_start in (0..pages).step_by(FIRST_LOOP_BATCH as usize) {
+                    let batch_end = (batch_start + FIRST_LOOP_BATCH).min(pages);
+                    let plan: Vec<u64> = (batch_start..batch_end).collect();
+                    if self.os.mem_probe_batch(region, &plan).iter().any(|s| !s.ok) {
+                        self.os.mem_free(region)?;
+                        return Err(OsError::InvalidArgument);
+                    }
                 }
                 return Ok(Some(GbAlloc {
                     region,
@@ -339,25 +360,34 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
 
             // First loop: move the new chunk to a known state, watching for
             // runs of slow points that betray the page daemon. If the
-            // daemon fires we stop touching immediately — pressing on
-            // would force other processes' memory out (MAC must assume
-            // their resident pages are their working sets).
+            // daemon fires we stop touching promptly — pressing on would
+            // force other processes' memory out (MAC must assume their
+            // resident pages are their working sets). Probes go down in
+            // bounded sub-batches, so the dispatch amortization never
+            // overshoots the daemon's wake-up point by more than one
+            // sub-batch.
             let mut slow_run = 0usize;
             let mut daemon_suspected = false;
             let mut touched_upto = target;
-            for p in good_pages..target {
-                let (res, t) = self.os.timed(|os| os.mem_touch_write(region, p));
-                res?;
-                self.stats.borrow_mut().pages_probed += 1;
-                if t > th.zero_slow {
-                    slow_run += 1;
-                    if slow_run >= self.params.slow_run_threshold {
-                        daemon_suspected = true;
-                        touched_upto = p + 1;
-                        break;
+            'first: for batch_start in (good_pages..target).step_by(FIRST_LOOP_BATCH as usize) {
+                let batch_end = (batch_start + FIRST_LOOP_BATCH).min(target);
+                let plan: Vec<u64> = (batch_start..batch_end).collect();
+                let samples = self.os.mem_probe_batch(region, &plan);
+                self.stats.borrow_mut().pages_probed += samples.len() as u64;
+                for s in &samples {
+                    if !s.ok {
+                        return Err(OsError::InvalidArgument);
                     }
-                } else {
-                    slow_run = 0;
+                    if s.elapsed > th.zero_slow {
+                        slow_run += 1;
+                        if slow_run >= self.params.slow_run_threshold {
+                            daemon_suspected = true;
+                            touched_upto = s.offset + 1;
+                            break 'first;
+                        }
+                    } else {
+                        slow_run = 0;
+                    }
                 }
             }
 
@@ -396,15 +426,27 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
             return Ok(true);
         }
         let allowed = (pages as f64 * self.params.slow_tolerance).floor() as u64;
+        // The verdict is monotone in the slow count, so batching reaches
+        // the same answer the scalar early-exit loop did. Batches stay
+        // bounded (rather than one whole-region batch) so competitors
+        // still get scheduled mid-verification — an atomic full-region
+        // re-touch would hide exactly the competition this check exists
+        // to detect.
         let mut slow = 0u64;
-        for p in 0..pages {
-            let (res, t) = self.os.timed(|os| os.mem_touch_write(region, p));
-            res?;
-            self.stats.borrow_mut().pages_probed += 1;
-            if t > th.touch_slow {
-                slow += 1;
-                if slow > allowed {
-                    return Ok(false);
+        for batch_start in (0..pages).step_by(FIRST_LOOP_BATCH as usize) {
+            let batch_end = (batch_start + FIRST_LOOP_BATCH).min(pages);
+            let plan: Vec<u64> = (batch_start..batch_end).collect();
+            let samples = self.os.mem_probe_batch(region, &plan);
+            self.stats.borrow_mut().pages_probed += samples.len() as u64;
+            for s in &samples {
+                if !s.ok {
+                    return Err(OsError::InvalidArgument);
+                }
+                if s.elapsed > th.touch_slow {
+                    slow += 1;
+                    if slow > allowed {
+                        return Ok(false);
+                    }
                 }
             }
         }
@@ -420,20 +462,22 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
         let page = self.os.page_size();
         let pages = self.params.calibration_pages.max(8);
         let region = self.os.mem_alloc(pages * page)?;
-        let mut zero_times = Vec::with_capacity(pages as usize);
-        for p in 0..pages {
-            let (res, t) = self.os.timed(|os| os.mem_touch_write(region, p));
-            res?;
-            zero_times.push(t.as_nanos() as f64);
-        }
-        let mut touch_times = Vec::with_capacity(pages as usize);
-        for round in 0..3 {
-            for p in 0..pages {
-                let (res, t) = self.os.timed(|os| os.mem_touch_write(region, p));
-                res?;
-                if round > 0 {
-                    touch_times.push(t.as_nanos() as f64);
-                }
+        let plan: Vec<u64> = (0..pages).collect();
+        let mut zero_times = Vec::new();
+        let mut touch_times = Vec::with_capacity(2 * pages as usize);
+        for round in 0..4 {
+            let samples = self.os.mem_probe_batch(region, &plan);
+            if samples.iter().any(|s| !s.ok) {
+                self.os.mem_free(region)?;
+                return Err(OsError::InvalidArgument);
+            }
+            let times = samples.iter().map(|s| s.elapsed.as_nanos() as f64);
+            match round {
+                // Round 0 pays allocation + zeroing; rounds 2-3 are pure
+                // resident re-touches (round 1 is a settling pass).
+                0 => zero_times.extend(times),
+                1 => {}
+                _ => touch_times.extend(times),
             }
         }
         self.os.mem_free(region)?;

@@ -104,6 +104,29 @@ impl std::error::Error for OsError {}
 /// Result alias for gray-box OS calls.
 pub type OsResult<T> = Result<T, OsError>;
 
+/// One probe in a batched timed-read request: which byte offset to touch.
+///
+/// Kept as a struct (not a bare `u64`) so batch plans can grow per-probe
+/// parameters later without re-signaturing every backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeSpec {
+    /// Absolute file offset of the 1-byte read.
+    pub offset: u64,
+}
+
+/// The timed outcome of one probe from a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeSample {
+    /// The offset that was probed (copied from the spec, so results can be
+    /// interpreted without holding the request alongside).
+    pub offset: u64,
+    /// Clock time the probe took, as observed by the probing process.
+    pub elapsed: GrayDuration,
+    /// Whether the read returned a byte. A failed probe (offset past EOF,
+    /// stale descriptor) still reports its elapsed time.
+    pub ok: bool,
+}
+
 /// The black-box syscall surface of a UNIX-like operating system.
 ///
 /// Implementations must uphold two properties the ICLs depend on:
@@ -242,6 +265,52 @@ pub trait GrayBoxOs {
         let t0 = self.now();
         let r = op(self);
         (r, self.now().since(t0))
+    }
+
+    /// Issues a batch of timed 1-byte read probes against one descriptor.
+    ///
+    /// Each probe is individually timed — clock read, 1-byte read at the
+    /// spec's offset, clock read — and touches the cache exactly as a lone
+    /// [`read_byte`](GrayBoxOs::read_byte) would, in spec order. The value
+    /// of batching is dispatch amortization, not semantic change: backends
+    /// may service the whole batch under one kernel entry (one lock
+    /// acquisition, one scheduler pass in `simos`; one descriptor-table
+    /// borrow and no per-probe allocation in `hostos`), but the pages
+    /// touched, their order, and the per-probe observed times must match
+    /// the scalar loop this default provides.
+    fn probe_batch(&self, fd: Fd, specs: &[ProbeSpec]) -> Vec<ProbeSample> {
+        let mut out = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let (res, elapsed) = self.timed(|os| os.read_byte(fd, spec.offset));
+            out.push(ProbeSample {
+                offset: spec.offset,
+                elapsed,
+                ok: res.is_ok(),
+            });
+        }
+        out
+    }
+
+    /// Issues a batch of timed page write-touches against one region — the
+    /// MAC probe primitive, vectored.
+    ///
+    /// Mirrors [`probe_batch`](GrayBoxOs::probe_batch): per-page timing and
+    /// per-page fault/allocation side effects are identical to a loop of
+    /// [`timed`](GrayBoxOs::timed)
+    /// [`mem_touch_write`](GrayBoxOs::mem_touch_write) calls in `pages`
+    /// order; only the dispatch overhead is amortized. The `offset` field
+    /// of each returned sample carries the page index.
+    fn mem_probe_batch(&self, region: MemRegion, pages: &[u64]) -> Vec<ProbeSample> {
+        let mut out = Vec::with_capacity(pages.len());
+        for &page in pages {
+            let (res, elapsed) = self.timed(|os| os.mem_touch_write(region, page));
+            out.push(ProbeSample {
+                offset: page,
+                elapsed,
+                ok: res.is_ok(),
+            });
+        }
+        out
     }
 }
 

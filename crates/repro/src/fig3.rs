@@ -148,12 +148,13 @@ fn fastsort_read_phase<O: GrayBoxOs>(
     let mut touched = 0u64;
 
     let consume = |os: &O, bytes: u64, touched: &mut u64| {
-        // Records are copied into the heap buffer as they arrive.
+        // Records are copied into the heap buffer as they arrive; the
+        // buffer-page touches for each chunk go down as one batch.
         let pages = bytes.div_ceil(page);
-        for _ in 0..pages {
-            os.mem_touch_write(region, *touched % buf_pages).unwrap();
-            *touched += 1;
-        }
+        let plan: Vec<u64> = (0..pages).map(|i| (*touched + i) % buf_pages).collect();
+        let samples = os.mem_probe_batch(region, &plan);
+        assert!(samples.iter().all(|s| s.ok), "sort buffer touch failed");
+        *touched += pages;
     };
 
     if via_gbp {

@@ -18,7 +18,7 @@
 //!   of a file is retained ("once placed in the Solaris file cache, it is
 //!   quite difficult to dislodge") while later scans churn in place.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// What a cached page belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -104,6 +104,12 @@ struct Pool {
     own_stacks: HashMap<Owner, Vec<PageId>>,
     /// Sticky policy: global insertion order of unreferenced pages.
     global_stack: Vec<PageId>,
+    /// Per-owner residency index: which pages of each owner are resident.
+    /// Kept exactly in sync with `entries`, so owner-scoped operations
+    /// (purge, flush, residency listing) are lookups instead of scans over
+    /// the whole pool. A sorted set, so listings come out in page order
+    /// deterministically.
+    by_owner: HashMap<Owner, BTreeSet<u64>>,
 }
 
 impl Pool {
@@ -118,6 +124,20 @@ impl Pool {
             next_seq: 0,
             own_stacks: HashMap::new(),
             global_stack: Vec::new(),
+            by_owner: HashMap::new(),
+        }
+    }
+
+    fn index_insert(&mut self, id: PageId) {
+        self.by_owner.entry(id.owner).or_default().insert(id.page);
+    }
+
+    fn index_remove(&mut self, id: PageId) {
+        if let Some(set) = self.by_owner.get_mut(&id.owner) {
+            set.remove(&id.page);
+            if set.is_empty() {
+                self.by_owner.remove(&id.owner);
+            }
         }
     }
 
@@ -192,6 +212,7 @@ impl Pool {
             },
         );
         Self::order_for(&mut self.order_file, &mut self.order_anon, id.owner).insert(seq, id);
+        self.index_insert(id);
         if self.policy == Policy::Sticky {
             self.own_stacks.entry(id.owner).or_default().push(id);
             self.global_stack.push(id);
@@ -226,6 +247,7 @@ impl Pool {
         let (&seq, &id) = order.iter().next()?;
         order.remove(&seq);
         let entry = self.entries.remove(&id).expect("order and entries agree");
+        self.index_remove(id);
         Some(Evicted {
             id,
             dirty: entry.dirty,
@@ -243,6 +265,7 @@ impl Pool {
                         let e = self.entries.remove(&id).expect("present");
                         Self::order_for(&mut self.order_file, &mut self.order_anon, id.owner)
                             .remove(&e.seq);
+                        self.index_remove(id);
                         return Some(Evicted { id, dirty: e.dirty });
                     }
                     _ => continue, // Referenced since insertion, or stale.
@@ -255,6 +278,7 @@ impl Pool {
                     let e = self.entries.remove(&id).expect("present");
                     Self::order_for(&mut self.order_file, &mut self.order_anon, id.owner)
                         .remove(&e.seq);
+                    self.index_remove(id);
                     return Some(Evicted { id, dirty: e.dirty });
                 }
                 _ => continue,
@@ -269,6 +293,7 @@ impl Pool {
             Some(e) => {
                 Self::order_for(&mut self.order_file, &mut self.order_anon, id.owner)
                     .remove(&e.seq);
+                self.index_remove(id);
                 true
             }
             None => false,
@@ -417,19 +442,15 @@ impl PageCache {
     /// which of them were dirty.
     pub fn remove_owner(&mut self, owner: Owner) -> Vec<Evicted> {
         let pool = self.pool_mut(owner);
-        let ids: Vec<PageId> = pool
-            .entries
-            .keys()
-            .filter(|id| id.owner == owner)
-            .copied()
-            .collect();
-        let mut out = Vec::with_capacity(ids.len());
-        for id in ids {
-            if let Some(e) = pool.entries.remove(&id) {
-                Pool::order_for(&mut pool.order_file, &mut pool.order_anon, id.owner)
-                    .remove(&e.seq);
-                out.push(Evicted { id, dirty: e.dirty });
-            }
+        let Some(pages) = pool.by_owner.remove(&owner) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(pages.len());
+        for page in pages {
+            let id = PageId { owner, page };
+            let e = pool.entries.remove(&id).expect("index and entries agree");
+            Pool::order_for(&mut pool.order_file, &mut pool.order_anon, owner).remove(&e.seq);
+            out.push(Evicted { id, dirty: e.dirty });
         }
         out
     }
@@ -439,14 +460,20 @@ impl PageCache {
     pub fn drop_file_pages(&mut self) -> Vec<Evicted> {
         let mut out = Vec::new();
         for pool in &mut self.pools {
-            let ids: Vec<PageId> = pool
-                .entries
+            let mut owners: Vec<Owner> = pool
+                .by_owner
                 .keys()
-                .filter(|id| id.owner.is_file())
+                .filter(|o| o.is_file())
                 .copied()
                 .collect();
-            for id in ids {
-                if let Some(e) = pool.entries.remove(&id) {
+            // The index is a HashMap; sort so the write-back list (and any
+            // cost charged from it) is deterministic.
+            owners.sort_unstable();
+            for owner in owners {
+                let pages = pool.by_owner.remove(&owner).expect("listed above");
+                for page in pages {
+                    let id = PageId { owner, page };
+                    let e = pool.entries.remove(&id).expect("index and entries agree");
                     pool.order_file.remove(&e.seq);
                     out.push(Evicted { id, dirty: e.dirty });
                 }
@@ -472,15 +499,11 @@ impl PageCache {
 
     /// Resident pages belonging to `owner`.
     pub fn resident_of(&self, owner: Owner) -> Vec<u64> {
-        let pool = self.pool(owner);
-        let mut pages: Vec<u64> = pool
-            .entries
-            .keys()
-            .filter(|id| id.owner == owner)
-            .map(|id| id.page)
-            .collect();
-        pages.sort_unstable();
-        pages
+        self.pool(owner)
+            .by_owner
+            .get(&owner)
+            .map(|pages| pages.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Free frames in the pool that would host `owner`.
@@ -671,6 +694,16 @@ mod tests {
             c.pools[0].order_file.len() + c.pools[0].order_anon.len(),
             c.pools[0].entries.len()
         );
+        let indexed: usize = c.pools[0].by_owner.values().map(|s| s.len()).sum();
+        assert_eq!(indexed, c.pools[0].entries.len());
+        for (owner, pages) in &c.pools[0].by_owner {
+            for &page in pages {
+                assert!(c.pools[0].entries.contains_key(&PageId {
+                    owner: *owner,
+                    page
+                }));
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use gray_toolbox::{GrayDuration, Nanos};
-use graybox::os::{Fd, GrayBoxOs, MemRegion, OsResult, Stat};
+use graybox::os::{Fd, GrayBoxOs, MemRegion, OsResult, ProbeSample, ProbeSpec, Stat};
 
 use crate::config::SimConfig;
 use crate::kernel::Kernel;
@@ -343,6 +343,19 @@ impl GrayBoxOs for SimProc {
 
     fn mem_touch_read(&self, region: MemRegion, page: u64) -> OsResult<u8> {
         self.call(|k, pid| k.sys_mem_touch_read(pid, region.0, page))
+    }
+
+    /// The whole batch runs under one kernel lock acquisition, and the
+    /// scheduler baton is considered for handoff once per batch (at the end
+    /// of `call`) rather than three times per probe. Virtual time is
+    /// unaffected — the kernel replays the exact scalar charging sequence
+    /// per probe — so only host-side dispatch overhead is saved.
+    fn probe_batch(&self, fd: Fd, specs: &[ProbeSpec]) -> Vec<ProbeSample> {
+        self.call(|k, pid| k.sys_probe_batch(pid, fd, specs))
+    }
+
+    fn mem_probe_batch(&self, region: MemRegion, pages: &[u64]) -> Vec<ProbeSample> {
+        self.call(|k, pid| k.sys_mem_probe_batch(pid, region.0, pages))
     }
 
     fn compute(&self, work: GrayDuration) {

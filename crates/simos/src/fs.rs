@@ -88,8 +88,54 @@ pub struct Inode {
     pub mtime: Nanos,
     /// Directory entries in creation order (`None` for regular files).
     pub entries: Option<Vec<(String, Ino)>>,
+    /// Name → position in `entries`, so path resolution is a hash lookup
+    /// instead of a linear scan. The *position* (not just the i-number) is
+    /// what the cost model needs: `log_dir_read` charges the directory
+    /// blocks a scan would have read to reach that entry, and that charge
+    /// must not change just because the lookup got faster. Empty for
+    /// regular files.
+    name_index: HashMap<String, usize>,
     /// Home cylinder group.
     pub group: usize,
+}
+
+impl Inode {
+    /// Position of `name` in `entries`, via the hash index.
+    fn entry_position(&self, name: &str) -> Option<usize> {
+        let idx = *self.name_index.get(name)?;
+        debug_assert_eq!(
+            self.entries
+                .as_ref()
+                .and_then(|e| e.get(idx))
+                .map(|(n, _)| n.as_str()),
+            Some(name),
+            "name index and entries agree"
+        );
+        Some(idx)
+    }
+
+    /// Appends a directory entry, returning its position.
+    fn push_entry(&mut self, name: String, ino: Ino) -> usize {
+        let entries = self.entries.as_mut().expect("checked dir");
+        let idx = entries.len();
+        entries.push((name.clone(), ino));
+        self.name_index.insert(name, idx);
+        idx
+    }
+
+    /// Removes the entry at `idx`, keeping the name index consistent.
+    /// `Vec::remove` shifts every later entry down one slot, so their
+    /// indexed positions shift with them.
+    fn remove_entry_at(&mut self, idx: usize) {
+        let entries = self.entries.as_mut().expect("checked dir");
+        let (name, _) = entries.remove(idx);
+        self.name_index.remove(&name);
+        for pos in self.name_index.values_mut() {
+            if *pos > idx {
+                *pos -= 1;
+            }
+        }
+    }
 }
 
 /// One cylinder group.
@@ -170,6 +216,7 @@ impl Fs {
                 atime: Nanos::ZERO,
                 mtime: Nanos::ZERO,
                 entries: Some(Vec::new()),
+                name_index: HashMap::new(),
                 group: 0,
             },
         );
@@ -427,10 +474,7 @@ impl Fs {
         for comp in components {
             let inode = self.inodes.get(&cur).ok_or(OsError::NotFound)?;
             let entries = inode.entries.as_ref().ok_or(OsError::NotADirectory)?;
-            let found = entries
-                .iter()
-                .position(|(name, _)| name == comp)
-                .ok_or(OsError::NotFound)?;
+            let found = inode.entry_position(comp).ok_or(OsError::NotFound)?;
             let next = entries[found].1;
             self.log_dir_read(cur, found + 1);
             self.log_inode_read(next);
@@ -450,10 +494,7 @@ impl Fs {
         for comp in parents {
             let inode = self.inodes.get(&cur).ok_or(OsError::NotFound)?;
             let entries = inode.entries.as_ref().ok_or(OsError::NotADirectory)?;
-            let found = entries
-                .iter()
-                .position(|(n, _)| n == comp)
-                .ok_or(OsError::NotFound)?;
+            let found = inode.entry_position(comp).ok_or(OsError::NotFound)?;
             let next = entries[found].1;
             self.log_dir_read(cur, found + 1);
             self.log_inode_read(next);
@@ -475,8 +516,7 @@ impl Fs {
     /// Creates a regular file; fails if the path exists.
     pub fn create(&mut self, path: &str, now: Nanos) -> OsResult<Ino> {
         let (dir, name) = self.resolve_parent(path)?;
-        let entries = self.inodes[&dir].entries.as_ref().expect("checked dir");
-        if entries.iter().any(|(n, _)| n == name) {
+        if self.inodes[&dir].entry_position(name).is_some() {
             return Err(OsError::AlreadyExists);
         }
         let group = self.inodes[&dir].group;
@@ -491,16 +531,13 @@ impl Fs {
                 atime: now,
                 mtime: now,
                 entries: None,
+                name_index: HashMap::new(),
                 group: actual_group,
             },
         );
         let name = name.to_string();
         let dir_inode = self.inodes.get_mut(&dir).expect("checked dir");
-        let idx = {
-            let entries = dir_inode.entries.as_mut().expect("checked dir");
-            entries.push((name, ino));
-            entries.len() - 1
-        };
+        let idx = dir_inode.push_entry(name, ino);
         dir_inode.mtime = now;
         self.grow_dir(dir)?;
         self.log_dir_write(dir, idx);
@@ -512,8 +549,7 @@ impl Fs {
     /// Creates a directory (placed in the emptiest group).
     pub fn mkdir(&mut self, path: &str, now: Nanos) -> OsResult<Ino> {
         let (dir, name) = self.resolve_parent(path)?;
-        let entries = self.inodes[&dir].entries.as_ref().expect("checked dir");
-        if entries.iter().any(|(n, _)| n == name) {
+        if self.inodes[&dir].entry_position(name).is_some() {
             return Err(OsError::AlreadyExists);
         }
         let group = self.emptiest_group();
@@ -528,17 +564,14 @@ impl Fs {
                 atime: now,
                 mtime: now,
                 entries: Some(Vec::new()),
+                name_index: HashMap::new(),
                 group: actual_group,
             },
         );
         self.grow_dir(ino)?;
         let name = name.to_string();
         let dir_inode = self.inodes.get_mut(&dir).expect("checked dir");
-        let idx = {
-            let entries = dir_inode.entries.as_mut().expect("checked dir");
-            entries.push((name, ino));
-            entries.len() - 1
-        };
+        let idx = dir_inode.push_entry(name, ino);
         dir_inode.mtime = now;
         self.grow_dir(dir)?;
         self.log_dir_write(dir, idx);
@@ -560,17 +593,15 @@ impl Fs {
     /// i-number so the kernel can purge cached pages.
     pub fn unlink(&mut self, path: &str, now: Nanos) -> OsResult<Ino> {
         let (dir, name) = self.resolve_parent(path)?;
-        let entries = self.inodes[&dir].entries.as_ref().expect("checked dir");
-        let idx = entries
-            .iter()
-            .position(|(n, _)| n == name)
+        let idx = self.inodes[&dir]
+            .entry_position(name)
             .ok_or(OsError::NotFound)?;
-        let ino = entries[idx].1;
+        let ino = self.inodes[&dir].entries.as_ref().expect("checked dir")[idx].1;
         if self.inodes[&ino].is_dir {
             return Err(OsError::IsADirectory);
         }
         let dir_inode = self.inodes.get_mut(&dir).expect("checked dir");
-        dir_inode.entries.as_mut().expect("checked dir").remove(idx);
+        dir_inode.remove_entry_at(idx);
         dir_inode.mtime = now;
         let inode = self.inodes.remove(&ino).expect("present");
         for block in inode.blocks {
@@ -586,12 +617,10 @@ impl Fs {
     /// Removes an empty directory.
     pub fn rmdir(&mut self, path: &str, now: Nanos) -> OsResult<Ino> {
         let (dir, name) = self.resolve_parent(path)?;
-        let entries = self.inodes[&dir].entries.as_ref().expect("checked dir");
-        let idx = entries
-            .iter()
-            .position(|(n, _)| n == name)
+        let idx = self.inodes[&dir]
+            .entry_position(name)
             .ok_or(OsError::NotFound)?;
-        let ino = entries[idx].1;
+        let ino = self.inodes[&dir].entries.as_ref().expect("checked dir")[idx].1;
         {
             let target = self.inodes.get(&ino).ok_or(OsError::NotFound)?;
             let target_entries = target.entries.as_ref().ok_or(OsError::NotADirectory)?;
@@ -600,7 +629,7 @@ impl Fs {
             }
         }
         let dir_inode = self.inodes.get_mut(&dir).expect("checked dir");
-        dir_inode.entries.as_mut().expect("checked dir").remove(idx);
+        dir_inode.remove_entry_at(idx);
         dir_inode.mtime = now;
         let inode = self.inodes.remove(&ino).expect("present");
         for block in inode.blocks {
@@ -617,39 +646,24 @@ impl Fs {
     pub fn rename(&mut self, from: &str, to: &str, now: Nanos) -> OsResult<()> {
         let (fdir, fname) = self.resolve_parent(from)?;
         let fidx = self.inodes[&fdir]
-            .entries
-            .as_ref()
-            .expect("checked dir")
-            .iter()
-            .position(|(n, _)| n == fname)
+            .entry_position(fname)
             .ok_or(OsError::NotFound)?;
         let ino = self.inodes[&fdir].entries.as_ref().expect("checked dir")[fidx].1;
         let (tdir, tname) = self.resolve_parent(to)?;
-        if self.inodes[&tdir]
-            .entries
-            .as_ref()
-            .expect("checked dir")
-            .iter()
-            .any(|(n, _)| n == tname)
-        {
+        if self.inodes[&tdir].entry_position(tname).is_some() {
             return Err(OsError::AlreadyExists);
         }
         let tname = tname.to_string();
         {
             let fdir_inode = self.inodes.get_mut(&fdir).expect("checked dir");
-            fdir_inode
-                .entries
-                .as_mut()
-                .expect("checked dir")
-                .remove(fidx);
+            fdir_inode.remove_entry_at(fidx);
             fdir_inode.mtime = now;
         }
         let idx = {
             let tdir_inode = self.inodes.get_mut(&tdir).expect("checked dir");
-            let entries = tdir_inode.entries.as_mut().expect("checked dir");
-            entries.push((tname, ino));
+            let idx = tdir_inode.push_entry(tname, ino);
             tdir_inode.mtime = now;
-            tdir_inode.entries.as_ref().expect("checked dir").len() - 1
+            idx
         };
         self.grow_dir(tdir)?;
         self.log_dir_write(fdir, fidx);

@@ -123,7 +123,10 @@ pub struct BenchResult {
 }
 
 impl BenchResult {
-    fn json(&self) -> String {
+    /// The result as one JSON object line (the same line printed after
+    /// each human-readable summary), for collection by scripts and the
+    /// `bench` runner's baseline file.
+    pub fn json(&self) -> String {
         format!(
             "{{\"name\":\"{}\",\"iters\":{},\"mean_ns\":{:.1},\"stddev_ns\":{:.1},\
              \"p50_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}}}",
@@ -161,6 +164,9 @@ pub struct Harness {
     max_iters: u64,
     /// Substring filter from the command line; empty runs everything.
     filter: String,
+    /// Smoke mode: one warmup and one timed iteration per benchmark,
+    /// overriding the configured budgets (see [`Harness::smoke`]).
+    smoke: bool,
     group: Option<String>,
     results: Vec<BenchResult>,
 }
@@ -174,7 +180,10 @@ impl Default for Harness {
 impl Harness {
     /// A harness with default budgets (500 ms warmup, 2 s measurement),
     /// honoring a substring filter and ignoring harness flags (`--bench`)
-    /// from the command line.
+    /// from the command line. A `--smoke` flag anywhere in the arguments
+    /// enables [`smoke`](Harness::smoke) mode, so pass-through CI
+    /// invocations (`cargo bench -- --smoke`) get smoke behavior without
+    /// each bench target parsing flags itself.
     pub fn new() -> Self {
         let filter = std::env::args()
             .skip(1)
@@ -186,9 +195,19 @@ impl Harness {
             min_iters: 10,
             max_iters: 1_000_000,
             filter,
+            smoke: std::env::args().skip(1).any(|a| a == "--smoke"),
             group: None,
             results: Vec::new(),
         }
+    }
+
+    /// Smoke mode: one warmup iteration and one timed iteration per
+    /// benchmark — enough to prove every bench still runs (CI), useless
+    /// for timing. Overrides the time-budget and iteration-count
+    /// configuration at run time, so it survives later builder calls.
+    pub fn smoke(mut self) -> Self {
+        self.smoke = true;
+        self
     }
 
     /// Sets the warmup budget.
@@ -206,6 +225,15 @@ impl Harness {
     /// Sets the minimum number of timed iterations.
     pub fn min_iters(mut self, n: u64) -> Self {
         self.min_iters = n.max(1);
+        self.max_iters = self.max_iters.max(self.min_iters);
+        self
+    }
+
+    /// Sets the maximum number of timed iterations (bounds sample memory
+    /// and caps smoke runs).
+    pub fn max_iters(mut self, n: u64) -> Self {
+        self.max_iters = n.max(1);
+        self.min_iters = self.min_iters.min(self.max_iters);
         self
     }
 
@@ -231,17 +259,29 @@ impl Harness {
         if !self.filter.is_empty() && !full.contains(&self.filter) {
             return self;
         }
+        // Smoke: one warmup pass (a zero budget still runs exactly one
+        // iteration — the warmup loop is do-while) and one timed pass.
+        let (warm_budget, measurement, min_iters, max_iters) = if self.smoke {
+            (Duration::ZERO, Duration::ZERO, 1, 1)
+        } else {
+            (
+                self.warm_up,
+                self.measurement,
+                self.min_iters,
+                self.max_iters,
+            )
+        };
 
         // Warmup: spend the budget and estimate per-iteration cost.
         let mut warm = Bencher::new(Mode::Warmup {
-            budget: self.warm_up,
+            budget: warm_budget,
         });
         f(&mut warm);
         let per_iter = warm.warm_elapsed.as_nanos() as f64 / warm.warm_iters.max(1) as f64;
 
         // Size the measurement run to the time budget.
-        let budget_ns = self.measurement.as_nanos() as f64;
-        let iters = ((budget_ns / per_iter.max(1.0)) as u64).clamp(self.min_iters, self.max_iters);
+        let budget_ns = measurement.as_nanos() as f64;
+        let iters = ((budget_ns / per_iter.max(1.0)) as u64).clamp(min_iters, max_iters);
 
         let mut meas = Bencher::new(Mode::Measure { iters });
         f(&mut meas);
@@ -332,6 +372,32 @@ mod tests {
         h.bench_function("t1", |b| b.iter(|| std::hint::black_box(1 + 1)));
         h.finish_group();
         assert_eq!(h.results()[0].name, "paper/t1");
+    }
+
+    #[test]
+    fn smoke_mode_runs_exactly_one_warmup_and_one_timed_iteration() {
+        // smoke() must win even over later builder calls (the figures
+        // bench sets min_iters after construction).
+        let mut h = fast_harness().smoke().min_iters(50);
+        h.filter = String::new();
+        let mut calls = 0u64;
+        h.bench_function("one_shot", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        let r = &h.results()[0];
+        assert_eq!(r.iters, 1);
+        assert_eq!(calls, 2, "one warmup iteration plus one timed iteration");
+    }
+
+    #[test]
+    fn max_iters_caps_the_measured_run() {
+        let mut h = fast_harness().min_iters(1).max_iters(3);
+        h.filter = String::new();
+        h.bench_function("capped", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        assert!(h.results()[0].iters <= 3);
     }
 
     #[test]
