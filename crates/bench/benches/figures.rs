@@ -1,12 +1,5 @@
 //! `cargo bench --bench figures` — see `gray_bench::suites::figures`.
 
-use gray_toolbox::bench::Harness;
-use std::time::Duration;
-
 fn main() {
-    let mut h = Harness::new()
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500))
-        .min_iters(10);
-    gray_bench::suites::figures::register(&mut h);
+    gray_bench::suites::run_standalone(gray_bench::suites::figures::register);
 }

@@ -1,0 +1,5 @@
+//! `cargo bench --bench sched` — see `gray_bench::suites::sched`.
+
+fn main() {
+    gray_bench::suites::run_standalone(gray_bench::suites::sched::register);
+}

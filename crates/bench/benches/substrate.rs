@@ -1,11 +1,5 @@
 //! `cargo bench --bench substrate` — see `gray_bench::suites::substrate`.
 
-use gray_toolbox::bench::Harness;
-use std::time::Duration;
-
 fn main() {
-    let mut h = Harness::new()
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
-    gray_bench::suites::substrate::register(&mut h);
+    gray_bench::suites::run_standalone(gray_bench::suites::substrate::register);
 }

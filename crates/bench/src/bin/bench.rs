@@ -1,29 +1,46 @@
 //! The benchmark runner: sweeps every suite and persists a baseline file.
 //!
 //! ```text
-//! cargo run --release -p gray-bench --bin bench              # full run → BENCH_PR3.json
+//! cargo run --release -p gray-bench --bin bench              # full run → BENCH_PR4.json
 //! cargo run --release -p gray-bench --bin bench -- --smoke   # 1 warmup + 1 iter each → BENCH_SMOKE.json
 //! cargo run --release -p gray-bench --bin bench -- fccd      # substring filter, as with cargo bench
+//! cargo run --release -p gray-bench --bin bench -- --diff BENCH_PR3.json BENCH_PR4.json
 //! ```
 //!
 //! The baseline file holds one entry per suite with the per-benchmark
-//! summaries (mean/stddev/min and friends), plus the scalar-vs-batched
-//! speedup of the FCCD full-file probe — the headline number for the
-//! vectored probe engine. Smoke runs write to a separate file so a CI
-//! invocation in a checkout can never clobber a committed baseline with
-//! single-iteration noise.
+//! summaries (mean/stddev/min and friends), plus two headline numbers:
+//! the scalar-vs-batched speedup of the FCCD full-file probe (the
+//! vectored probe engine) and the serial-vs-concurrent virtual-time
+//! speedup of multi-file FCCD probing through the scheduler. Smoke runs
+//! write to a separate file so a CI invocation in a checkout can never
+//! clobber a committed baseline with single-iteration noise.
+//!
+//! `--diff old new` compares two baseline files by benchmark mean and
+//! prints per-target regressions (no benches are run).
 
 use gray_bench::suites;
 use gray_toolbox::bench::Harness;
 use std::time::Duration;
 
 /// Baseline file for full runs (committed at the repo root).
-const BASELINE: &str = "BENCH_PR3.json";
+const BASELINE: &str = "BENCH_PR4.json";
 /// Output for smoke runs (existence proof only, never committed).
 const SMOKE_OUT: &str = "BENCH_SMOKE.json";
+/// Mean-time ratio above which `--diff` flags a benchmark as regressed.
+const REGRESSION: f64 = 1.25;
 
 fn main() {
-    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--diff") {
+        match args.get(pos + 1).zip(args.get(pos + 2)) {
+            Some((old, new)) => std::process::exit(diff(old, new)),
+            None => {
+                eprintln!("usage: bench --diff <old.json> <new.json>");
+                std::process::exit(2);
+            }
+        }
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
 
     let mut sections = Vec::new();
     let mut scalar_mean = None;
@@ -53,24 +70,113 @@ fn main() {
         sections.push(format!("  \"{target}\": [\n{}\n  ]", entries.join(",\n")));
     }
 
-    let speedup = match (scalar_mean, batched_mean) {
-        (Some(s), Some(b)) if b > 0.0 => {
+    let mut headlines = String::new();
+    if let (Some(s), Some(b)) = (scalar_mean, batched_mean) {
+        if b > 0.0 {
             let x = s / b;
             println!("\nfccd probe engine: scalar {s:.0} ns vs batched {b:.0} ns → {x:.2}x");
-            format!(
+            headlines.push_str(&format!(
                 ",\n  \"fccd_probe_speedup\": {{\"scalar_mean_ns\":{s:.1},\
                  \"batched_mean_ns\":{b:.1},\"speedup\":{x:.3}}}"
-            )
+            ));
         }
-        // Filtered out (or smoke-filtered): no headline entry.
-        _ => String::new(),
-    };
+    }
+    // The scheduler headline is virtual-time, so it is exact and cheap:
+    // compute it even under --smoke (where the host-time harness runs a
+    // single iteration and its entries are noise).
+    let sched = suites::sched::fccd_multifile_speedup();
+    println!(
+        "sched fccd fleet: serial {} ns vs concurrent {} ns (virtual) → {:.2}x",
+        sched.serial_ns, sched.concurrent_ns, sched.speedup
+    );
+    headlines.push_str(&format!(
+        ",\n  \"sched_fccd_speedup\": {{\"serial_virtual_ns\":{},\
+         \"concurrent_virtual_ns\":{},\"files\":{},\"speedup\":{:.3}}}",
+        sched.serial_ns,
+        sched.concurrent_ns,
+        suites::sched::FLEET_FILES,
+        sched.speedup
+    ));
 
     let json = format!(
-        "{{\n  \"schema\": \"gray-bench-baseline/v1\",\n  \"smoke\": {smoke},\n{}{speedup}\n}}\n",
+        "{{\n  \"schema\": \"gray-bench-baseline/v1\",\n  \"smoke\": {smoke},\n{}{headlines}\n}}\n",
         sections.join(",\n")
     );
     let out = if smoke { SMOKE_OUT } else { BASELINE };
     std::fs::write(out, &json).expect("write baseline file");
     println!("\nwrote {out}");
+}
+
+/// Compares two baseline files by per-benchmark mean time and prints the
+/// regressions. Returns the process exit code: 0 when nothing regressed
+/// past [`REGRESSION`], 1 otherwise.
+fn diff(old_path: &str, new_path: &str) -> i32 {
+    let old = read_means(old_path);
+    let new = read_means(new_path);
+    let mut regressed = 0usize;
+    let mut compared = 0usize;
+    println!("diff {old_path} → {new_path} (regression bar {REGRESSION}x)");
+    for (name, new_mean) in &new {
+        let Some(old_mean) = old.iter().find(|(n, _)| n == name).map(|(_, m)| *m) else {
+            println!("  new       {name}: {new_mean:.0} ns");
+            continue;
+        };
+        compared += 1;
+        let ratio = if old_mean > 0.0 {
+            new_mean / old_mean
+        } else {
+            1.0
+        };
+        if ratio > REGRESSION {
+            regressed += 1;
+            println!("  REGRESSED {name}: {old_mean:.0} ns → {new_mean:.0} ns ({ratio:.2}x)");
+        } else if ratio < 1.0 / REGRESSION {
+            println!("  improved  {name}: {old_mean:.0} ns → {new_mean:.0} ns ({ratio:.2}x)");
+        }
+    }
+    for (name, _) in &old {
+        if !new.iter().any(|(n, _)| n == name) {
+            println!("  removed   {name}");
+        }
+    }
+    println!("{compared} compared, {regressed} regressed");
+    i32::from(regressed > 0)
+}
+
+/// Extracts `(name, mean_ns)` pairs from a baseline file without a JSON
+/// dependency: entries are one `{"name":"...","mean_ns":...}` object per
+/// line, which is exactly what this runner writes.
+fn read_means(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "name") else {
+            continue;
+        };
+        let Some(mean) = field_num(line, "mean_ns") else {
+            continue;
+        };
+        out.push((name, mean));
+    }
+    out
+}
+
+/// The string value of `"key":"..."` in `line`, if present.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// The numeric value of `"key":...` in `line`, if present.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }

@@ -6,19 +6,31 @@
 pub mod ablations;
 pub mod figures;
 pub mod icl;
+pub mod sched;
 pub mod substrate;
 pub mod toolbox;
 
 use gray_toolbox::bench::Harness;
+use std::time::Duration;
 
 /// A suite's registration entry point.
 pub type Register = fn(&mut Harness);
 
 /// All suites, in baseline-file order: `(target name, register fn)`.
-pub const ALL: [(&str, Register); 5] = [
+pub const ALL: [(&str, Register); 6] = [
     ("toolbox", toolbox::register),
     ("substrate", substrate::register),
     ("icl", icl::register),
     ("figures", figures::register),
     ("ablations", ablations::register),
+    ("sched", sched::register),
 ];
+
+/// Runs one suite standalone with the `cargo bench` timing budget — the
+/// whole body of every `benches/*.rs` shim.
+pub fn run_standalone(register: Register) {
+    let mut h = Harness::new()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    register(&mut h);
+}

@@ -158,6 +158,251 @@ impl FileProbeReport {
     }
 }
 
+/// A fully drawn probe plan for one file: every offset the probe pass
+/// will touch, plus the shape needed to fold the resulting samples back
+/// into a [`FileProbeReport`].
+///
+/// Plans are produced by [`FccdPlanner::draw_plan`] and are inert data —
+/// they can be shipped to another process (a `gray-sched` worker) and
+/// executed there, then folded by the planner that drew them. Files too
+/// small to probe get an empty spec list and a single penalty unit, so
+/// executing the plan touches nothing (no Heisenberg on tiny files).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FccdFilePlan {
+    /// Every probe offset, in issue order (access unit, then prediction
+    /// unit, then round) — exactly the order the scalar loop drew them.
+    pub specs: Vec<ProbeSpec>,
+    /// The access units `(offset, len)` the specs cover, in file order.
+    pub units: Vec<(u64, u64)>,
+    /// Probes issued into each access unit (0 for a penalty unit).
+    pub unit_probes: Vec<u32>,
+    /// Rounds per prediction unit (the fold keeps the minimum).
+    pub rounds: u32,
+}
+
+/// The OS-free half of FCCD: draws probe plans and folds their samples.
+///
+/// [`Fccd`] owns one of these and executes plans inline; the `gray-sched`
+/// scheduler uses a standalone planner to draw plans client-side, dispatch
+/// them to worker processes, and fold the returned samples. Both paths
+/// share this code, so a fixed seed places probes identically either way.
+pub struct FccdPlanner {
+    params: FccdParams,
+    rng: RefCell<StdRng>,
+}
+
+impl FccdPlanner {
+    /// Creates a planner whose probe offsets are decorrelated across runs
+    /// by mixing `clock` (a reading of the backend clock) into the seed —
+    /// the same defense [`Fccd::new`] applies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (zero-sized units, or a
+    /// prediction unit larger than the access unit).
+    pub fn new(params: FccdParams, clock: gray_toolbox::Nanos) -> Self {
+        assert!(params.access_unit > 0, "access unit must be positive");
+        assert!(
+            params.prediction_unit > 0,
+            "prediction unit must be positive"
+        );
+        assert!(
+            params.prediction_unit <= params.access_unit,
+            "prediction unit cannot exceed the access unit"
+        );
+        assert!(params.align > 0, "alignment must be positive");
+        assert!(params.probe_rounds > 0, "at least one probe round");
+        let seed = params
+            .seed
+            .wrapping_add(clock.as_nanos().wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let rng = RefCell::new(StdRng::seed_from_u64(seed));
+        FccdPlanner { params, rng }
+    }
+
+    /// Creates a planner whose offsets depend *only* on `params.seed` —
+    /// for tests and ablations needing bit-exact probe placement.
+    pub fn with_fixed_seed(params: FccdParams) -> Self {
+        let seed = params.seed;
+        let mut planner = FccdPlanner::new(params, gray_toolbox::Nanos::ZERO);
+        planner.rng = RefCell::new(StdRng::seed_from_u64(seed));
+        planner
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &FccdParams {
+        &self.params
+    }
+
+    /// The access units of a file of `size` bytes: `access_unit`-sized,
+    /// snapped to the record alignment, covering the whole file.
+    pub fn access_units(&self, size: u64) -> Vec<(u64, u64)> {
+        let au = snap_down(self.params.access_unit, self.params.align).max(self.params.align);
+        chunks(0, size, au)
+    }
+
+    /// Draws the complete probe plan for a file of `size` bytes on a
+    /// system with `page_size`-byte pages. Every random offset is drawn
+    /// under a single RNG borrow, in the same order the scalar loop drew
+    /// them, so a fixed seed places probes identically across dispatch
+    /// paths.
+    pub fn draw_plan(&self, size: u64, page_size: u64) -> FccdFilePlan {
+        let mut plan = FccdFilePlan {
+            specs: Vec::new(),
+            units: Vec::new(),
+            unit_probes: Vec::new(),
+            rounds: self.params.probe_rounds,
+        };
+        if size == 0 {
+            return plan;
+        }
+        if size < page_size {
+            // Probing would pull the whole file in — pure Heisenberg.
+            plan.units.push((0, size));
+            plan.unit_probes.push(0);
+            return plan;
+        }
+        plan.units = self.access_units(size);
+        let rounds = self.params.probe_rounds;
+        let mut rng = self.rng.borrow_mut();
+        for &(offset, len) in &plan.units {
+            let mut probes = 0u32;
+            for (p_off, p_len) in chunks(offset, len, self.params.prediction_unit) {
+                debug_assert!(p_len > 0);
+                for _ in 0..rounds {
+                    plan.specs.push(ProbeSpec {
+                        offset: p_off + rng.random_range(0..p_len),
+                    });
+                }
+                probes += rounds;
+            }
+            plan.unit_probes.push(probes);
+        }
+        plan
+    }
+
+    /// Folds the samples of an executed plan back into a report: minimum
+    /// over the rounds of each prediction unit, summed per access unit.
+    /// Penalty units (0 probes) receive the small-file penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != plan.specs.len()`.
+    pub fn fold(&self, plan: &FccdFilePlan, samples: &[ProbeSample]) -> FileProbeReport {
+        assert_eq!(samples.len(), plan.specs.len(), "one sample per spec");
+        let mut report = FileProbeReport::default();
+        let rounds = plan.rounds.max(1);
+        let mut cursor = samples.iter();
+        for (&(offset, len), &probes) in plan.units.iter().zip(&plan.unit_probes) {
+            let probe_time = if probes == 0 {
+                self.params.small_file_penalty
+            } else {
+                let mut total = GrayDuration::ZERO;
+                for _ in 0..probes / rounds {
+                    let mut best: Option<GrayDuration> = None;
+                    for _ in 0..rounds {
+                        let s = cursor.next().expect("sample count checked above");
+                        let t = if s.ok {
+                            s.elapsed
+                        } else {
+                            // A failed probe tells us nothing good about
+                            // residency.
+                            self.params.small_file_penalty
+                        };
+                        best = Some(match best {
+                            None => t,
+                            Some(b) => b.min(t),
+                        });
+                    }
+                    total += best.expect("probe_rounds >= 1");
+                }
+                total
+            };
+            report.units.push(UnitProbe {
+                offset,
+                len,
+                probe_time,
+                probes,
+            });
+        }
+        report
+    }
+
+    /// Builds a [`FileRank`] from a folded report, normalizing by probe
+    /// count so files of different sizes compare fairly.
+    pub fn rank(&self, path: &str, size: u64, report: &FileProbeReport) -> FileRank {
+        let total: GrayDuration = report.units.iter().map(|u| u.probe_time).sum();
+        let n = report.total_probes().max(1);
+        FileRank {
+            path: path.to_string(),
+            mean_probe: total / n,
+            total_probe: total,
+            size,
+        }
+    }
+
+    /// The rank a file receives when it cannot be opened at all: the
+    /// small-file penalty (a vanished file is certainly not in the cache).
+    pub fn rank_unopenable(&self, path: &str) -> FileRank {
+        FileRank {
+            path: path.to_string(),
+            mean_probe: self.params.small_file_penalty,
+            total_probe: self.params.small_file_penalty,
+            size: 0,
+        }
+    }
+}
+
+/// Sorts ranks fastest-first (ties broken by path, so the order is
+/// deterministic).
+pub fn sort_ranks(ranks: &mut [FileRank]) {
+    ranks.sort_by(|a, b| {
+        a.mean_probe
+            .cmp(&b.mean_probe)
+            .then_with(|| a.path.cmp(&b.path))
+    });
+}
+
+/// Splits sorted ranks into predicted-cached and predicted-uncached groups
+/// by exact two-means clustering of the mean probe times (paper Section
+/// 4.2.4) — the classification core shared by [`Fccd::classify_files`] and
+/// the `gray-sched` multi-file frontend.
+pub fn classify_ranks(ranks: Vec<FileRank>) -> Classified {
+    if ranks.len() < 2 {
+        return Classified {
+            cached: Vec::new(),
+            uncached: ranks,
+            separation: 0.0,
+        };
+    }
+    let times: Vec<f64> = ranks
+        .iter()
+        .map(|r| r.mean_probe.as_nanos() as f64)
+        .collect();
+    let clustering = two_means(&times);
+    let separation = clustering.separation(&times);
+    if separation < 0.5 {
+        return Classified {
+            cached: Vec::new(),
+            uncached: ranks,
+            separation,
+        };
+    }
+    let mut cached = Vec::new();
+    let mut uncached = Vec::new();
+    for (rank, &cluster) in ranks.into_iter().zip(&clustering.assignment) {
+        if cluster == 0 {
+            cached.push(rank);
+        } else {
+            uncached.push(rank);
+        }
+    }
+    Classified {
+        cached,
+        uncached,
+        separation,
+    }
+}
+
 /// A file ranked by probe time, as returned by [`Fccd::order_files`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct FileRank {
@@ -192,8 +437,7 @@ pub struct Classified {
 /// for probe-offset randomization.
 pub struct Fccd<'a, O: GrayBoxOs> {
     os: &'a O,
-    params: FccdParams,
-    rng: RefCell<StdRng>,
+    planner: FccdPlanner,
 }
 
 impl<'a, O: GrayBoxOs> Fccd<'a, O> {
@@ -204,17 +448,6 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
     /// Panics if the parameters are inconsistent (zero-sized units, or a
     /// prediction unit larger than the access unit).
     pub fn new(os: &'a O, params: FccdParams) -> Self {
-        assert!(params.access_unit > 0, "access unit must be positive");
-        assert!(
-            params.prediction_unit > 0,
-            "prediction unit must be positive"
-        );
-        assert!(
-            params.prediction_unit <= params.access_unit,
-            "prediction unit cannot exceed the access unit"
-        );
-        assert!(params.align > 0, "alignment must be positive");
-        assert!(params.probe_rounds > 0, "at least one probe round");
         // Probe offsets must differ from run to run (paper Section 4.1.2):
         // with fixed offsets, a previous run's probes leave exactly the
         // probed pages in a skewed cache state — and worse, an LRU-like
@@ -223,11 +456,8 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
         // when 95% of it is resident. Mixing the clock into the seed keeps
         // simulation runs reproducible while decorrelating offsets across
         // runs.
-        let seed = params
-            .seed
-            .wrapping_add(os.now().as_nanos().wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let rng = RefCell::new(StdRng::seed_from_u64(seed));
-        Fccd { os, params, rng }
+        let planner = FccdPlanner::new(params, os.now());
+        Fccd { os, planner }
     }
 
     /// Creates a detector whose probe offsets depend *only* on
@@ -239,15 +469,23 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
     /// skew the next run's measurements. It exists for the ablation suite
     /// and for tests that need bit-exact probe placement.
     pub fn with_fixed_seed(os: &'a O, params: FccdParams) -> Self {
+        // Keep the clock read `Fccd::new` performs, so both constructors
+        // issue the same syscall sequence (the equivalence tests compare
+        // runs syscall for syscall).
         let mut fccd = Fccd::new(os, params);
-        let seed = fccd.params.seed;
-        fccd.rng = RefCell::new(StdRng::seed_from_u64(seed));
+        let params = fccd.planner.params.clone();
+        fccd.planner = FccdPlanner::with_fixed_seed(params);
         fccd
     }
 
     /// The parameters in use.
     pub fn params(&self) -> &FccdParams {
-        &self.params
+        self.planner.params()
+    }
+
+    /// The OS-free planner half of the detector.
+    pub fn planner(&self) -> &FccdPlanner {
+        &self.planner
     }
 
     /// Probes every access unit of the open file `fd` of size `size`.
@@ -274,48 +512,18 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
     }
 
     fn probe_file_impl(&self, fd: Fd, size: u64, batched: bool) -> FileProbeReport {
-        let mut report = FileProbeReport::default();
-        if size == 0 {
-            return report;
-        }
-        if size < self.os.page_size() {
-            report.units.push(UnitProbe {
-                offset: 0,
-                len: size,
-                probe_time: self.params.small_file_penalty,
-                probes: 0,
-            });
-            return report;
-        }
-        // Plan the whole file's probes up front: every random offset is
-        // drawn under a single RNG borrow, in the same order the scalar
-        // loop drew them (access unit, then prediction unit, then round),
-        // so a fixed seed places probes identically either way. The plan
-        // then goes down as one vectored `probe_batch` call.
-        let units = self.access_units(size);
-        let rounds = self.params.probe_rounds;
-        let mut specs = Vec::new();
-        let mut unit_probes = Vec::with_capacity(units.len());
-        {
-            let mut rng = self.rng.borrow_mut();
-            for &(offset, len) in &units {
-                let mut probes = 0u32;
-                for (p_off, p_len) in chunks(offset, len, self.params.prediction_unit) {
-                    debug_assert!(p_len > 0);
-                    for _ in 0..rounds {
-                        specs.push(ProbeSpec {
-                            offset: p_off + rng.random_range(0..p_len),
-                        });
-                    }
-                    probes += rounds;
-                }
-                unit_probes.push(probes);
-            }
-        }
-        let samples = if batched {
-            self.os.probe_batch(fd, &specs)
+        // Plan the whole file's probes up front (one RNG borrow, scalar
+        // draw order), dispatch, fold — the planner half is OS-free, so
+        // the same plan/fold code serves the gray-sched worker path.
+        let plan = self.planner.draw_plan(size, self.os.page_size());
+        let samples = if plan.specs.is_empty() {
+            // Tiny and empty files issue no probes at all — not even an
+            // empty batch syscall.
+            Vec::new()
+        } else if batched {
+            self.os.probe_batch(fd, &plan.specs)
         } else {
-            specs
+            plan.specs
                 .iter()
                 .map(|spec| {
                     let (res, elapsed) = self.os.timed(|os| os.read_byte(fd, spec.offset));
@@ -327,38 +535,7 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
                 })
                 .collect()
         };
-        debug_assert_eq!(samples.len(), specs.len(), "one sample per spec");
-        // Fold samples back through the same shape: minimum over the
-        // rounds of each prediction unit, summed per access unit.
-        let mut cursor = samples.iter();
-        for (&(offset, len), &probes) in units.iter().zip(&unit_probes) {
-            let mut total = GrayDuration::ZERO;
-            for _ in 0..probes / rounds {
-                let mut best: Option<GrayDuration> = None;
-                for _ in 0..rounds {
-                    let s = cursor.next().expect("sample count checked above");
-                    let t = if s.ok {
-                        s.elapsed
-                    } else {
-                        // A failed probe tells us nothing good about
-                        // residency.
-                        self.params.small_file_penalty
-                    };
-                    best = Some(match best {
-                        None => t,
-                        Some(b) => b.min(t),
-                    });
-                }
-                total += best.expect("probe_rounds >= 1");
-            }
-            report.units.push(UnitProbe {
-                offset,
-                len,
-                probe_time: total,
-                probes,
-            });
-        }
-        report
+        self.planner.fold(&plan, &samples)
     }
 
     /// Probes the file and returns its access units fastest-first.
@@ -382,11 +559,7 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
     /// *mean* per-probe time so that large and small files compare fairly.
     pub fn order_files(&self, paths: &[String]) -> Vec<FileRank> {
         let mut ranks: Vec<FileRank> = paths.iter().map(|p| self.rank_one(p)).collect();
-        ranks.sort_by(|a, b| {
-            a.mean_probe
-                .cmp(&b.mean_probe)
-                .then_with(|| a.path.cmp(&b.path))
-        });
+        sort_ranks(&mut ranks);
         ranks
     }
 
@@ -398,70 +571,23 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
     /// split is not trusted: all files are reported uncached, since "fast
     /// versus slow" carries no signal when everything costs the same.
     pub fn classify_files(&self, paths: &[String]) -> Classified {
-        let ranks = self.order_files(paths);
-        if ranks.len() < 2 {
-            return Classified {
-                cached: Vec::new(),
-                uncached: ranks,
-                separation: 0.0,
-            };
-        }
-        let times: Vec<f64> = ranks
-            .iter()
-            .map(|r| r.mean_probe.as_nanos() as f64)
-            .collect();
-        let clustering = two_means(&times);
-        let separation = clustering.separation(&times);
-        if separation < 0.5 {
-            return Classified {
-                cached: Vec::new(),
-                uncached: ranks,
-                separation,
-            };
-        }
-        let mut cached = Vec::new();
-        let mut uncached = Vec::new();
-        for (rank, &cluster) in ranks.into_iter().zip(&clustering.assignment) {
-            if cluster == 0 {
-                cached.push(rank);
-            } else {
-                uncached.push(rank);
-            }
-        }
-        Classified {
-            cached,
-            uncached,
-            separation,
-        }
+        classify_ranks(self.order_files(paths))
     }
 
     /// The access units of a file of `size` bytes: `access_unit`-sized,
     /// snapped to the record alignment, covering the whole file.
     pub fn access_units(&self, size: u64) -> Vec<(u64, u64)> {
-        let au = snap_down(self.params.access_unit, self.params.align).max(self.params.align);
-        chunks(0, size, au)
+        self.planner.access_units(size)
     }
 
     fn rank_one(&self, path: &str) -> FileRank {
         let Ok(fd) = self.os.open(path) else {
-            return FileRank {
-                path: path.to_string(),
-                mean_probe: self.params.small_file_penalty,
-                total_probe: self.params.small_file_penalty,
-                size: 0,
-            };
+            return self.planner.rank_unopenable(path);
         };
         let size = self.os.file_size(fd).unwrap_or(0);
         let report = self.probe_file(fd, size);
         let _ = self.os.close(fd);
-        let total: GrayDuration = report.units.iter().map(|u| u.probe_time).sum();
-        let n = report.total_probes().max(1);
-        FileRank {
-            path: path.to_string(),
-            mean_probe: total / n,
-            total_probe: total,
-            size,
-        }
+        self.planner.rank(path, size, &report)
     }
 }
 

@@ -61,15 +61,17 @@ use gray_toolbox::{GrayDuration, ParamRepository, Summary};
 use crate::os::{GrayBoxOs, MemRegion, OsError, OsResult};
 use crate::technique::{Technique, TechniqueInventory};
 
-/// Pages per first-loop probe sub-batch. Batching amortizes dispatch, but
-/// the first loop must stop touching soon after the page daemon wakes up;
-/// a bounded sub-batch caps the overshoot past the detection point at one
-/// batch while still amortizing the common (all-fast) case.
-const FIRST_LOOP_BATCH: u64 = 64;
-
 /// Tuning parameters for the admission controller.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MacParams {
+    /// Pages per first-loop probe sub-batch. Batching amortizes dispatch,
+    /// but the first loop must stop touching soon after the page daemon
+    /// wakes up; a bounded sub-batch caps the overshoot past the detection
+    /// point at one batch while still amortizing the common (all-fast)
+    /// case. The default matches the old compile-time bound; the
+    /// `sched.sub_batch_pages` microbenchmark publishes a measured value
+    /// via [`Mac::with_repository`].
+    pub sub_batch_pages: u64,
     /// First (and post-backoff) probe increment, in bytes.
     pub initial_increment: u64,
     /// Ceiling for the doubling increment, in bytes.
@@ -96,6 +98,7 @@ pub struct MacParams {
 impl Default for MacParams {
     fn default() -> Self {
         MacParams {
+            sub_batch_pages: 64,
             initial_increment: 16 << 20,
             max_increment: 128 << 20,
             slow_run_threshold: 3,
@@ -173,6 +176,7 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
             params.slow_multiplier > 1.0,
             "slow multiplier must exceed 1"
         );
+        assert!(params.sub_batch_pages > 0, "sub-batch must be positive");
         Mac {
             os,
             params,
@@ -184,7 +188,12 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
     /// Creates a controller that takes its thresholds from the
     /// microbenchmark repository when present (the paper's preferred
     /// "values calculated once ... and advertised in a file").
-    pub fn with_repository(os: &'a O, params: MacParams, repo: &ParamRepository) -> Self {
+    pub fn with_repository(os: &'a O, mut params: MacParams, repo: &ParamRepository) -> Self {
+        if let Ok(Some(sub)) = repo.get_u64(keys::SCHED_SUB_BATCH_PAGES) {
+            if sub > 0 {
+                params.sub_batch_pages = sub;
+            }
+        }
         let mac = Mac::new(os, params);
         let touch = repo.get_duration(keys::PAGE_TOUCH_NS).ok().flatten();
         let zero = repo.get_duration(keys::PAGE_ALLOC_ZERO_NS).ok().flatten();
@@ -247,23 +256,7 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
                 // resident, so the caller starts from a known state and
                 // the identify-and-allocate step is atomic from the
                 // caller's perspective.
-                let region = self.os.mem_alloc(admitted)?;
-                let pages = admitted.div_ceil(page);
-                // Bounded batches, so making the admitted region resident
-                // is not one atomic sweep that starves competitors of
-                // scheduling points.
-                for batch_start in (0..pages).step_by(FIRST_LOOP_BATCH as usize) {
-                    let batch_end = (batch_start + FIRST_LOOP_BATCH).min(pages);
-                    let plan: Vec<u64> = (batch_start..batch_end).collect();
-                    if self.os.mem_probe_batch(region, &plan).iter().any(|s| !s.ok) {
-                        self.os.mem_free(region)?;
-                        return Err(OsError::InvalidArgument);
-                    }
-                }
-                return Ok(Some(GbAlloc {
-                    region,
-                    bytes: admitted,
-                }));
+                return self.materialize(admitted, page).map(Some);
             }
         }
         Ok(None)
@@ -295,6 +288,81 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
     /// Releases an allocation made by [`Mac::gb_alloc`].
     pub fn gb_free(&self, alloc: GbAlloc) -> OsResult<()> {
         self.os.mem_free(alloc.region)
+    }
+
+    /// Allocates exactly `bytes` that some *shared* probe pass already
+    /// admitted, without re-probing availability.
+    ///
+    /// This is the grant half of the `gray-sched` MAC admission queue:
+    /// the queue runs one probe-and-verify calibration pass for all
+    /// pending requests (instead of each `gb_alloc` perturbing the
+    /// others), then carves grants from the single estimate through this
+    /// method. The first-touch loop keeps the page-daemon run detection,
+    /// and the region is verified resident afterwards — so if the shared
+    /// estimate went stale between the probe pass and this grant (a
+    /// competitor grabbed memory), the grant fails with `None` rather
+    /// than silently overcommitting.
+    pub fn gb_alloc_admitted(&self, bytes: u64) -> OsResult<Option<GbAlloc>> {
+        if bytes == 0 {
+            return Ok(None);
+        }
+        let page = self.os.page_size();
+        let th = self.ensure_thresholds()?;
+        self.stats.borrow_mut().attempts += 1;
+        let probe_start = self.os.now();
+        let region = self.os.mem_alloc(bytes)?;
+        let pages = bytes.div_ceil(page);
+        let sub = self.params.sub_batch_pages as usize;
+        // First loop: materialize the grant, watching for slow runs that
+        // betray the page daemon (the shared estimate is then stale).
+        let mut slow_run = 0usize;
+        let mut daemon = false;
+        'touch: for batch_start in (0..pages).step_by(sub) {
+            let batch_end = (batch_start + self.params.sub_batch_pages).min(pages);
+            let plan: Vec<u64> = (batch_start..batch_end).collect();
+            let samples = self.os.mem_probe_batch(region, &plan);
+            self.stats.borrow_mut().pages_probed += samples.len() as u64;
+            for s in &samples {
+                if !s.ok {
+                    self.os.mem_free(region)?;
+                    return Err(OsError::InvalidArgument);
+                }
+                if s.elapsed > th.zero_slow {
+                    slow_run += 1;
+                    if slow_run >= self.params.slow_run_threshold {
+                        daemon = true;
+                        break 'touch;
+                    }
+                } else {
+                    slow_run = 0;
+                }
+            }
+        }
+        let fits = !daemon && self.verify_resident(region, pages, th)?;
+        self.stats.borrow_mut().probe_time += self.os.now().since(probe_start);
+        if !fits {
+            self.os.mem_free(region)?;
+            return Ok(None);
+        }
+        Ok(Some(GbAlloc { region, bytes }))
+    }
+
+    /// Allocates `bytes` (already admitted by a probe pass) and makes the
+    /// region resident in bounded sub-batches, so the sweep is not one
+    /// atomic step that starves competitors of scheduling points.
+    fn materialize(&self, bytes: u64, page: u64) -> OsResult<GbAlloc> {
+        let region = self.os.mem_alloc(bytes)?;
+        let pages = bytes.div_ceil(page);
+        let sub = self.params.sub_batch_pages;
+        for batch_start in (0..pages).step_by(sub as usize) {
+            let batch_end = (batch_start + sub).min(pages);
+            let plan: Vec<u64> = (batch_start..batch_end).collect();
+            if self.os.mem_probe_batch(region, &plan).iter().any(|s| !s.ok) {
+                self.os.mem_free(region)?;
+                return Err(OsError::InvalidArgument);
+            }
+        }
+        Ok(GbAlloc { region, bytes })
     }
 
     /// Estimates currently available memory, in bytes, without retaining
@@ -369,8 +437,10 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
             let mut slow_run = 0usize;
             let mut daemon_suspected = false;
             let mut touched_upto = target;
-            'first: for batch_start in (good_pages..target).step_by(FIRST_LOOP_BATCH as usize) {
-                let batch_end = (batch_start + FIRST_LOOP_BATCH).min(target);
+            'first: for batch_start in
+                (good_pages..target).step_by(self.params.sub_batch_pages as usize)
+            {
+                let batch_end = (batch_start + self.params.sub_batch_pages).min(target);
                 let plan: Vec<u64> = (batch_start..batch_end).collect();
                 let samples = self.os.mem_probe_batch(region, &plan);
                 self.stats.borrow_mut().pages_probed += samples.len() as u64;
@@ -433,8 +503,8 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
         // re-touch would hide exactly the competition this check exists
         // to detect.
         let mut slow = 0u64;
-        for batch_start in (0..pages).step_by(FIRST_LOOP_BATCH as usize) {
-            let batch_end = (batch_start + FIRST_LOOP_BATCH).min(pages);
+        for batch_start in (0..pages).step_by(self.params.sub_batch_pages as usize) {
+            let batch_end = (batch_start + self.params.sub_batch_pages).min(pages);
             let plan: Vec<u64> = (batch_start..batch_end).collect();
             let samples = self.os.mem_probe_batch(region, &plan);
             self.stats.borrow_mut().pages_probed += samples.len() as u64;

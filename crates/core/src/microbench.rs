@@ -222,6 +222,57 @@ impl<'a, O: GrayBoxOs> Microbench<'a, O> {
         Ok(chosen)
     }
 
+    /// Measures the probe sub-batch size: the smallest `mem_probe_batch`
+    /// batch whose per-probe dispatch cost is within 10% of the best
+    /// measured amortization.
+    ///
+    /// Dispatch amortization is a *host*-side effect (one kernel entry,
+    /// one lock acquisition per batch — virtual time charges per probe are
+    /// identical by construction), so this measurement uses the host
+    /// clock on every backend. Larger batches than the knee buy no
+    /// further amortization but cost scheduling interleaving: a batch is
+    /// one atomic scheduling point, and MAC's daemon detection can
+    /// overshoot by up to one batch. Replaces the old compile-time
+    /// `FIRST_LOOP_BATCH`/`TOUCH_BATCH` = 64 constants.
+    pub fn sub_batch_pages(&self) -> OsResult<u64> {
+        const CANDIDATES: [u64; 6] = [8, 16, 32, 64, 128, 256];
+        let page = self.os.page_size();
+        let pages = *CANDIDATES.last().expect("non-empty");
+        let region = self.os.mem_alloc(pages * page)?;
+        // Make the region resident first, so every candidate measures
+        // steady-state touches rather than first-touch allocation.
+        let warm: Vec<u64> = (0..pages).collect();
+        if self.os.mem_probe_batch(region, &warm).iter().any(|s| !s.ok) {
+            self.os.mem_free(region)?;
+            return Err(OsError::InvalidArgument);
+        }
+        let mut per_probe = Vec::with_capacity(CANDIDATES.len());
+        for &batch in &CANDIDATES {
+            let plan: Vec<u64> = (0..batch).collect();
+            // Same total probe count for every candidate, so the
+            // comparison is batch-size only.
+            let reps = (pages / batch).max(1) * 4;
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                if self.os.mem_probe_batch(region, &plan).iter().any(|s| !s.ok) {
+                    self.os.mem_free(region)?;
+                    return Err(OsError::InvalidArgument);
+                }
+            }
+            let elapsed = t0.elapsed().as_nanos() as f64;
+            per_probe.push(elapsed / (reps * batch) as f64);
+        }
+        self.os.mem_free(region)?;
+        let best = per_probe.iter().copied().fold(f64::INFINITY, f64::min);
+        let chosen = CANDIDATES
+            .iter()
+            .zip(&per_probe)
+            .find(|(_, &cost)| cost <= 1.1 * best)
+            .map(|(&b, _)| b)
+            .unwrap_or(64);
+        Ok(chosen)
+    }
+
     /// Runs the full suite and publishes results into the repository under
     /// the well-known keys.
     pub fn run_all(
@@ -251,6 +302,9 @@ impl<'a, O: GrayBoxOs> Microbench<'a, O> {
 
         let unit = self.access_unit(&scratch, file_bytes)?;
         repo.set_raw(keys::ACCESS_UNIT_BYTES, unit);
+
+        let sub_batch = self.sub_batch_pages()?;
+        repo.set_raw(keys::SCHED_SUB_BATCH_PAGES, sub_batch);
         Ok(())
     }
 }
@@ -324,8 +378,20 @@ mod tests {
             keys::DISK_SEEK_NS,
             keys::ACCESS_UNIT_BYTES,
             keys::PAGE_SIZE_BYTES,
+            keys::SCHED_SUB_BATCH_PAGES,
         ] {
             assert!(repo.contains(key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn sub_batch_pages_is_a_candidate() {
+        let os = MockOs::new(64, 1 << 20);
+        let mb = Microbench::new(&os);
+        let sub = mb.sub_batch_pages().unwrap();
+        assert!(
+            [8, 16, 32, 64, 128, 256].contains(&sub),
+            "sub-batch {sub} not a candidate"
+        );
     }
 }

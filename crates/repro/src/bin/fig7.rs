@@ -4,7 +4,11 @@ use repro::{print_paper_note, print_table, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    let fig = repro::fig7::run(scale);
+    // Measure the touch-batch bound on this figure's machine first, so the
+    // sorts run with a calibrated `sched.sub_batch_pages` rather than the
+    // compile-time default.
+    let repo = repro::fig7::calibrated_repository(scale);
+    let fig = repro::fig7::run_with_repository(scale, Some(&repo));
     let rows: Vec<Vec<String>> = fig
         .points
         .iter()

@@ -1,0 +1,139 @@
+//! Concurrency calibration: how many plans per wave actually helps?
+//!
+//! The right concurrency cap is a property of the machine under the
+//! gray-box layer — disk count, CPU count, cache behaviour — none of
+//! which the layer can read directly. So, in the spirit of every other
+//! parameter in this repo, it is *measured*: run the same probe workload
+//! at doubling concurrency levels and keep raising the cap while the
+//! wave span keeps shrinking meaningfully.
+
+use gray_toolbox::repository::{keys, ParamRepository};
+
+use crate::exec::PlanExecutor;
+use crate::plan::ProbePlan;
+
+/// A wave must finish in at most this fraction of the previous level's
+/// span for the doubling to count as an improvement. 20% slack: halving
+/// the workers' serialization should roughly halve the span when the
+/// bottleneck is parallel (independent disks), and barely move it when it
+/// is not.
+const IMPROVEMENT: f64 = 0.8;
+
+/// Measures the useful concurrency level for `exec` and publishes it as
+/// `sched.concurrency_cap`.
+///
+/// `make_wave(n)` must build a wave of `n` plans that are *independent
+/// and comparable* across calls — e.g. FCCD plans over distinct cold
+/// files, a fresh set per call so earlier trials do not warm the later
+/// ones. Levels double from 1 up to `max_cap`; the first level that fails
+/// to beat its predecessor by [`IMPROVEMENT`] ends the search, and the
+/// best level so far wins.
+///
+/// Span source: the executor's wave span where available (virtual time
+/// under simos); executors without an out-of-band clock fall back to the
+/// summed per-probe sample times, which measures the same contention,
+/// just without the overlap credit.
+pub fn calibrate_concurrency<E: PlanExecutor>(
+    exec: &mut E,
+    mut make_wave: impl FnMut(usize) -> Vec<ProbePlan>,
+    max_cap: usize,
+    repo: &mut ParamRepository,
+) -> usize {
+    let max_cap = max_cap.max(1);
+    let mut best = 1usize;
+    let mut prev_per_plan = f64::INFINITY;
+    let mut level = 1usize;
+    while level <= max_cap {
+        let wave = make_wave(level);
+        assert_eq!(wave.len(), level, "make_wave must honor the level");
+        let outcome = exec.run_wave(&wave);
+        let span_ns = match outcome.span {
+            Some(span) => span.as_nanos() as f64,
+            None => outcome
+                .results
+                .iter()
+                .flat_map(|r| r.samples.iter())
+                .map(|s| s.elapsed.as_nanos() as f64)
+                .sum(),
+        };
+        // Compare per-plan cost: a level earns its keep only if running
+        // `level` plans together costs meaningfully less per plan than
+        // the previous level did.
+        let per_plan = span_ns / level as f64;
+        if per_plan <= prev_per_plan * IMPROVEMENT {
+            best = level;
+            prev_per_plan = per_plan;
+            level *= 2;
+        } else {
+            break;
+        }
+    }
+    repo.set_raw(keys::SCHED_CONCURRENCY_CAP, best as u64);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::WaveOutcome;
+    use crate::plan::PlanResult;
+    use gray_toolbox::GrayDuration;
+
+    /// Span model: `serial_frac` of each plan's work serializes, the rest
+    /// overlaps perfectly. Plan cost 1000 ns.
+    struct ModelExecutor {
+        serial_frac: f64,
+    }
+
+    impl PlanExecutor for ModelExecutor {
+        fn run_wave(&mut self, wave: &[ProbePlan]) -> WaveOutcome {
+            let n = wave.len() as f64;
+            let span = 1000.0 * (self.serial_frac * n + (1.0 - self.serial_frac));
+            WaveOutcome {
+                results: wave
+                    .iter()
+                    .map(|p| PlanResult {
+                        path: p.path.clone(),
+                        size: 0,
+                        samples: Vec::new(),
+                        error: None,
+                    })
+                    .collect(),
+                span: Some(GrayDuration::from_nanos(span as u64)),
+            }
+        }
+    }
+
+    fn waves(n: usize) -> Vec<ProbePlan> {
+        (0..n)
+            .map(|i| ProbePlan {
+                path: format!("/f{i}"),
+                specs: Vec::new(),
+                sub_batch: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_backend_earns_a_high_cap() {
+        let mut repo = ParamRepository::in_memory();
+        let mut exec = ModelExecutor { serial_frac: 0.05 };
+        let cap = calibrate_concurrency(&mut exec, waves, 8, &mut repo);
+        assert!(
+            cap >= 4,
+            "nearly-parallel backend should calibrate high, got {cap}"
+        );
+        assert_eq!(
+            repo.get_u64(keys::SCHED_CONCURRENCY_CAP).unwrap(),
+            Some(cap as u64)
+        );
+    }
+
+    #[test]
+    fn serial_backend_stays_at_one() {
+        let mut repo = ParamRepository::in_memory();
+        let mut exec = ModelExecutor { serial_frac: 1.0 };
+        let cap = calibrate_concurrency(&mut exec, waves, 8, &mut repo);
+        assert_eq!(cap, 1, "fully serial backend must not raise the cap");
+    }
+}

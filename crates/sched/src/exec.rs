@@ -1,0 +1,162 @@
+//! Plan executors: how a wave of plans becomes running probes.
+//!
+//! The scheduler is backend-agnostic; an executor maps one *wave* (a set
+//! of plans meant to run concurrently) onto a backend's notion of
+//! concurrency:
+//!
+//! - [`InlineExecutor`] runs plans sequentially on a borrowed backend —
+//!   the degenerate executor, and the reference for the concurrency-1
+//!   equivalence tests;
+//! - [`SimExecutor`] turns each plan into one `simos` process and runs the
+//!   wave through [`Sim::run`], so probe latency overlaps disk service in
+//!   virtual time;
+//! - [`HostExecutor`] gives each plan a real thread with its own
+//!   [`HostOs`] view over a shared root.
+
+use gray_toolbox::GrayDuration;
+use graybox::os::GrayBoxOs;
+use hostos::HostOs;
+use simos::exec::Workload;
+use simos::{Sim, SimProc};
+
+use crate::plan::{execute_plan, PlanResult, ProbePlan};
+
+/// The result of running one wave.
+#[derive(Debug)]
+pub struct WaveOutcome {
+    /// One result per plan, in wave order.
+    pub results: Vec<PlanResult>,
+    /// Wall-clock span of the wave as the backend experiences time
+    /// (virtual under `simos`, host time under `hostos`), measured from
+    /// *outside* the worker processes so it adds no syscalls to them.
+    /// `None` when the executor has no out-of-band clock (inline).
+    pub span: Option<GrayDuration>,
+}
+
+/// Turns waves of plans into executed probes.
+pub trait PlanExecutor {
+    /// Runs every plan of `wave` (concurrently, if the backend can) and
+    /// returns their results in wave order.
+    fn run_wave(&mut self, wave: &[ProbePlan]) -> WaveOutcome;
+}
+
+/// Runs plans one after another on a borrowed backend.
+///
+/// No concurrency, no extra processes, no extra syscalls: a wave of N
+/// plans issues exactly the syscalls of N direct dispatches. Use it where
+/// the probing must happen inside an existing process (mock tests, or a
+/// `run_one` workload under simos).
+pub struct InlineExecutor<'a, O: GrayBoxOs> {
+    os: &'a O,
+}
+
+impl<'a, O: GrayBoxOs> InlineExecutor<'a, O> {
+    /// Creates an executor over the borrowed backend.
+    pub fn new(os: &'a O) -> Self {
+        InlineExecutor { os }
+    }
+}
+
+impl<O: GrayBoxOs> PlanExecutor for InlineExecutor<'_, O> {
+    fn run_wave(&mut self, wave: &[ProbePlan]) -> WaveOutcome {
+        let results = wave.iter().map(|p| execute_plan(self.os, p)).collect();
+        WaveOutcome {
+            results,
+            span: None,
+        }
+    }
+}
+
+/// Runs each plan of a wave as one simulated process via [`Sim::run`].
+///
+/// All processes of a wave start at the same virtual instant; the
+/// simulator's conservative discrete-event executor then interleaves them
+/// by virtual time, so plans probing files on different disks genuinely
+/// overlap their disk service. The wave span is measured from the kernel
+/// clock outside any process (no syscalls are added to the workers).
+pub struct SimExecutor<'a> {
+    sim: &'a mut Sim,
+}
+
+impl<'a> SimExecutor<'a> {
+    /// Creates an executor over the simulation.
+    pub fn new(sim: &'a mut Sim) -> Self {
+        SimExecutor { sim }
+    }
+
+    /// The underlying simulation (for cache flushes between experiments).
+    pub fn sim(&mut self) -> &mut Sim {
+        self.sim
+    }
+}
+
+impl PlanExecutor for SimExecutor<'_> {
+    fn run_wave(&mut self, wave: &[ProbePlan]) -> WaveOutcome {
+        let t0 = self.sim.now();
+        let workloads: Vec<(String, Workload<'_, PlanResult>)> = wave
+            .iter()
+            .map(|plan| {
+                let plan = plan.clone();
+                let name = plan.path.clone();
+                let w: Workload<'_, PlanResult> =
+                    Box::new(move |os: &SimProc| execute_plan(os, &plan));
+                (name, w)
+            })
+            .collect();
+        let results = self.sim.run(workloads);
+        let span = self.sim.now().since(t0);
+        WaveOutcome {
+            results,
+            span: Some(span),
+        }
+    }
+}
+
+/// Runs each plan of a wave on its own thread against the real OS.
+///
+/// [`HostOs`] keeps per-process state in `RefCell`s, so instances cannot
+/// be shared across threads; instead every worker gets its own
+/// [`HostOs::fork_view`] over the shared root — same files, same page
+/// cache underneath, private descriptor tables.
+pub struct HostExecutor {
+    root: HostOs,
+}
+
+impl HostExecutor {
+    /// Creates an executor whose workers fork views of `root`.
+    pub fn new(root: HostOs) -> Self {
+        HostExecutor { root }
+    }
+}
+
+impl PlanExecutor for HostExecutor {
+    fn run_wave(&mut self, wave: &[ProbePlan]) -> WaveOutcome {
+        let t0 = std::time::Instant::now();
+        let results: Vec<PlanResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = wave
+                .iter()
+                .map(|plan| {
+                    let view = self.root.fork_view();
+                    scope.spawn(move || match view {
+                        Ok(os) => execute_plan(&os, plan),
+                        Err(e) => PlanResult {
+                            path: plan.path.clone(),
+                            size: 0,
+                            samples: Vec::new(),
+                            error: Some(graybox::os::OsError::Io(e.to_string())),
+                        },
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("probe worker panicked"))
+                .collect()
+        });
+        let span = GrayDuration::from_nanos(t0.elapsed().as_nanos() as u64);
+        WaveOutcome {
+            results,
+            span: Some(span),
+        }
+    }
+}

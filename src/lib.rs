@@ -9,6 +9,8 @@
 //!   `GrayBoxOs` trait (the paper's primary contribution);
 //! - [`toolbox`] — the gray toolbox (timers, statistics, clustering,
 //!   parameter repository);
+//! - [`sched`] — the shared probe-scheduler runtime that fans ICL probe
+//!   plans out across processes;
 //! - [`simos`] — the deterministic simulated OS substrate;
 //! - [`hostos`] — the real-OS backend over `std`;
 //! - [`apps`] — grep, fastsort, gbp, and the scan workloads;
@@ -21,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub use gray_apps as apps;
+pub use gray_sched as sched;
 pub use gray_toolbox as toolbox;
 pub use graybox;
 pub use hostos;
@@ -37,6 +40,7 @@ mod tests {
     fn reexports_are_wired() {
         let _ = crate::toolbox::OnlineStats::new();
         let _ = crate::graybox::fccd::FccdParams::default();
+        let _ = crate::sched::SchedConfig::default();
         let _ = crate::simos::SimConfig::small();
         assert!(crate::PAPER.contains("SOSP 2001"));
     }

@@ -1,0 +1,274 @@
+//! Equivalence properties for the probe scheduler (`gray-sched`).
+//!
+//! A scheduler at concurrency 1 must be invisible: submitting FCCD's
+//! per-file probe plans to a one-worker [`Scheduler`] and dispatching
+//! them through an executor must issue the same syscalls in the same
+//! order as the inline `Fccd` path, and therefore rank and classify any
+//! cache state bit-identically. Under simos this holds even with timing
+//! noise enabled, because each dispatched process starts at the latest
+//! virtual time the previous one reached — exactly where the inline
+//! path's single process would have been — so the charge sequence, the
+//! CPU-bank bookings, and the noise stream all align.
+//!
+//! The third test covers the MAC side of the scheduler: pooling
+//! `gb_alloc` requests behind one [`MacAdmissionQueue`] probe pass must
+//! not blind MAC's paging detection — with a memory hog running
+//! concurrently, the shared probe still sees the daemon wake up and the
+//! pooled grants shrink accordingly.
+//!
+//! Replay recipes — the harness prints the failing case's seed in a
+//! banner; rerun it (or widen the sweep) with:
+//!
+//! ```text
+//! PROP_SEED=0x<seed> cargo test -q sched_and_direct_classify_identically_under_mock
+//! PROP_SEED=0x<seed> cargo test -q sched_and_direct_classify_identically_under_simos
+//! PROP_CASES=100 cargo test -q --test sched_equivalence
+//! ```
+
+use graybox_icl::apps::workload::make_file;
+use graybox_icl::graybox::fccd::{classify_ranks, Fccd, FccdParams};
+use graybox_icl::graybox::mac::{Mac, MacParams};
+use graybox_icl::graybox::mock::MockOs;
+use graybox_icl::graybox::os::{GrayBoxOs, GrayBoxOsExt};
+use graybox_icl::sched::{
+    AdmissionRequest, FccdFleet, InlineExecutor, MacAdmissionQueue, SchedConfig, Scheduler,
+    SimExecutor,
+};
+use graybox_icl::simos::exec::Workload;
+use graybox_icl::simos::{Sim, SimConfig, SimProc};
+use graybox_icl::toolbox::prop::{check, Gen};
+use graybox_icl::toolbox::GrayDuration;
+
+/// A one-worker scheduler: waves of one plan, dispatched in submission
+/// order — the configuration the equivalence claim is about.
+fn serial_scheduler() -> Scheduler {
+    Scheduler::new(SchedConfig {
+        concurrency: 1,
+        ..SchedConfig::default()
+    })
+}
+
+/// Random file set, random warm pages, mock backend: ranking through a
+/// concurrency-1 scheduler must be bit-identical to inline `Fccd`.
+#[test]
+fn sched_and_direct_classify_identically_under_mock() {
+    check(
+        "sched_and_direct_classify_identically_under_mock",
+        32,
+        |g: &mut Gen| {
+            let page = 4096u64;
+            let access_unit = g.u64(1..5) * page;
+            let params = FccdParams {
+                access_unit,
+                prediction_unit: page,
+                probe_rounds: g.range(1u32..3),
+                seed: g.u64(1..u64::MAX),
+                ..FccdParams::default()
+            };
+            let nfiles = g.range(2usize..5);
+            // Ragged tails exercise the final short access unit per file.
+            let files: Vec<(String, u64)> = (0..nfiles)
+                .map(|i| {
+                    let size = g.u64(1..8) * access_unit + g.u64(0..access_unit);
+                    (format!("/f{i}"), size)
+                })
+                .collect();
+            let warm: Vec<Vec<u64>> = files
+                .iter()
+                .map(|(_, size)| (0..size.div_ceil(page)).filter(|_| g.bool()).collect())
+                .collect();
+
+            // Both sides get their own identically-prepared backend: same
+            // files, same flush, same warm pages.
+            let fresh = || {
+                let os = MockOs::new(1 << 20, 16);
+                for (path, size) in &files {
+                    os.write_file(path, &vec![0u8; *size as usize]).unwrap();
+                }
+                os.flush_cache();
+                for ((path, _), pages) in files.iter().zip(&warm) {
+                    os.warm(path, pages.iter().copied());
+                }
+                os
+            };
+
+            let direct = {
+                let os = fresh();
+                let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
+                Fccd::with_fixed_seed(&os, params.clone()).order_files(&paths)
+            };
+            let sched = {
+                let os = fresh();
+                // sub_batch 0: one probe_batch per file, exactly like the
+                // inline path's single vectored call.
+                let fleet = FccdFleet::with_fixed_seed(&os, params.clone(), 0);
+                let mut sched = serial_scheduler();
+                let mut exec = InlineExecutor::new(&os);
+                fleet.order_files(&mut sched, &mut exec, &files)
+            };
+            assert_eq!(direct, sched, "concurrency-1 scheduler ranks diverge");
+            // Classification is a pure function of the ranks, so equal
+            // ranks force equal splits; assert it anyway as the headline.
+            let (d, s) = (classify_ranks(direct), classify_ranks(sched));
+            assert_eq!(d.cached, s.cached, "cached split diverges");
+            assert_eq!(d.uncached, s.uncached, "uncached split diverges");
+        },
+    );
+}
+
+/// The same property end to end through the simulated kernel, with
+/// timing noise on: the inline path probes all files from one process;
+/// the scheduler path builds the fleet in one process and then runs one
+/// process per plan. Each plan process starts at the latest virtual time
+/// reached — exactly where the inline process would have opened that
+/// file — so every charge lands at the same absolute time, the noise
+/// stream stays in step, and the ranks are bit-identical.
+#[test]
+fn sched_and_direct_classify_identically_under_simos() {
+    check(
+        "sched_and_direct_classify_identically_under_simos",
+        8,
+        |g: &mut Gen| {
+            let access_unit = 1u64 << 20;
+            let params = FccdParams {
+                access_unit,
+                prediction_unit: 256 << 10,
+                probe_rounds: g.range(1u32..3),
+                seed: g.u64(1..u64::MAX),
+                ..FccdParams::default()
+            };
+            let nfiles = g.range(2usize..4);
+            let files: Vec<(String, u64)> = (0..nfiles)
+                .map(|i| (format!("/f{i}"), g.u64(1..4) * access_unit))
+                .collect();
+            // Warm a random subset of each file's access units.
+            let warm: Vec<Vec<u64>> = files
+                .iter()
+                .map(|(_, size)| (0..size / access_unit).filter(|_| g.bool()).collect())
+                .collect();
+
+            // Identical machines up to the moment the detector is built:
+            // create the files, flush, warm — each in the same processes.
+            let boot = || {
+                let mut sim = Sim::new(SimConfig::small());
+                let setup = files.clone();
+                sim.run_one(move |os| {
+                    for (path, size) in &setup {
+                        make_file(os, path, *size).unwrap();
+                    }
+                });
+                sim.flush_file_cache();
+                let warm_files: Vec<(String, Vec<u64>)> = files
+                    .iter()
+                    .zip(&warm)
+                    .map(|((p, _), u)| (p.clone(), u.clone()))
+                    .collect();
+                sim.run_one(move |os| {
+                    for (path, units) in &warm_files {
+                        let fd = os.open(path).unwrap();
+                        for &u in units {
+                            os.read_discard(fd, u * access_unit, access_unit).unwrap();
+                        }
+                        os.close(fd).unwrap();
+                    }
+                });
+                sim
+            };
+
+            let direct = {
+                let mut sim = boot();
+                let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
+                let params = params.clone();
+                sim.run_one(move |os| Fccd::with_fixed_seed(os, params).order_files(&paths))
+            };
+            let sched = {
+                let mut sim = boot();
+                let params = params.clone();
+                let fleet = sim.run_one(move |os| FccdFleet::with_fixed_seed(os, params, 0));
+                let mut sched = serial_scheduler();
+                let mut exec = SimExecutor::new(&mut sim);
+                fleet.order_files(&mut sched, &mut exec, &files)
+            };
+            assert_eq!(direct, sched, "concurrency-1 scheduler ranks diverge");
+            let (d, s) = (classify_ranks(direct), classify_ranks(sched));
+            assert_eq!(d.cached, s.cached, "cached split diverges");
+            assert_eq!(d.uncached, s.uncached, "uncached split diverges");
+        },
+    );
+}
+
+const MB: u64 = 1 << 20;
+
+/// Total bytes granted to two pooled `gb_alloc` requests, optionally with
+/// a memory hog running concurrently in the same simulation.
+fn pooled_grant_total(contended: bool) -> u64 {
+    let mut sim = Sim::new(SimConfig::small().without_noise());
+    let requests = [AdmissionRequest {
+        min: 2 * MB,
+        max: 24 * MB,
+        multiple: MB,
+    }; 2];
+    let admit = move |os: &SimProc| -> u64 {
+        // Give the hog time to establish residency before probing, so the
+        // shared probe pass measures a genuinely contended machine.
+        os.sleep(GrayDuration::from_millis(100));
+        let mac = Mac::new(os, MacParams::default());
+        let mut queue = MacAdmissionQueue::new();
+        for req in requests {
+            queue.submit(req);
+        }
+        let grants = queue.admit_all(&mac).unwrap();
+        grants.iter().flatten().map(|g| g.bytes).sum()
+    };
+    if !contended {
+        return sim.run_one(admit);
+    }
+    let hog = |os: &SimProc| -> u64 {
+        let bytes = 28 * MB;
+        let region = os.mem_alloc(bytes).unwrap();
+        let pages = bytes / os.page_size();
+        // Sweep the working set repeatedly so it stays hot across the
+        // admission pass instead of aging into easy eviction fodder.
+        for _ in 0..3 {
+            for p in 0..pages {
+                os.mem_touch_write(region, p).unwrap();
+            }
+            os.sleep(GrayDuration::from_millis(50));
+        }
+        0
+    };
+    let workloads: Vec<(String, Workload<'_, u64>)> = vec![
+        ("hog".to_string(), Box::new(hog)),
+        ("admit".to_string(), Box::new(admit)),
+    ];
+    sim.run(workloads).pop().expect("admission result")
+}
+
+/// Pooling requests behind one shared probe pass must not blind MAC's
+/// paging detection: with a hog holding (and re-touching) half of memory,
+/// the shared estimate sees the page daemon wake up and the pooled grants
+/// come back much smaller than on an idle machine — instead of
+/// overcommitting and swapping the competitor out.
+#[test]
+fn mac_admission_queue_detects_competition() {
+    let idle = pooled_grant_total(false);
+    let contended = pooled_grant_total(true);
+    assert!(
+        idle >= 32 * MB,
+        "idle machine should admit most of the pooled ceiling, got {} MB",
+        idle / MB
+    );
+    assert!(
+        contended + 8 * MB <= idle,
+        "competition must shrink pooled grants: idle {} MB vs contended {} MB",
+        idle / MB,
+        contended / MB
+    );
+    // The grants plus the hog's hot set must still fit in physical
+    // memory — the queue backed off rather than overcommitting.
+    assert!(
+        contended + 28 * MB <= 64 * MB,
+        "pooled grants overcommit a contended machine: {} MB granted",
+        contended / MB
+    );
+}
