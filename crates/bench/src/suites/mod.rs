@@ -4,6 +4,7 @@
 //! of them into one baseline file.
 
 pub mod ablations;
+pub mod accuracy;
 pub mod figures;
 pub mod icl;
 pub mod sched;

@@ -40,6 +40,7 @@ use std::cell::RefCell;
 
 use gray_toolbox::rng::StdRng;
 use gray_toolbox::rng::{RngExt, SeedableRng};
+use gray_toolbox::trace::{self, TraceEvent, Verdict};
 use gray_toolbox::{two_means, GrayDuration};
 
 use crate::os::{Fd, GrayBoxOs, OsResult, ProbeSample, ProbeSpec};
@@ -368,6 +369,7 @@ pub fn sort_ranks(ranks: &mut [FileRank]) {
 /// the `gray-sched` multi-file frontend.
 pub fn classify_ranks(ranks: Vec<FileRank>) -> Classified {
     if ranks.len() < 2 {
+        emit_verdicts(&ranks, Verdict::Uncached);
         return Classified {
             cached: Vec::new(),
             uncached: ranks,
@@ -380,7 +382,13 @@ pub fn classify_ranks(ranks: Vec<FileRank>) -> Classified {
         .collect();
     let clustering = two_means(&times);
     let separation = clustering.separation(&times);
+    trace::emit_with(|| TraceEvent::ThresholdCrossed {
+        what: "fccd.separation",
+        value: separation,
+        threshold: 0.5,
+    });
     if separation < 0.5 {
+        emit_verdicts(&ranks, Verdict::Uncached);
         return Classified {
             cached: Vec::new(),
             uncached: ranks,
@@ -390,6 +398,15 @@ pub fn classify_ranks(ranks: Vec<FileRank>) -> Classified {
     let mut cached = Vec::new();
     let mut uncached = Vec::new();
     for (rank, &cluster) in ranks.into_iter().zip(&clustering.assignment) {
+        let verdict = if cluster == 0 {
+            Verdict::Cached
+        } else {
+            Verdict::Uncached
+        };
+        trace::emit_with(|| TraceEvent::Classified {
+            unit: rank.path.clone(),
+            verdict,
+        });
         if cluster == 0 {
             cached.push(rank);
         } else {
@@ -400,6 +417,20 @@ pub fn classify_ranks(ranks: Vec<FileRank>) -> Classified {
         cached,
         uncached,
         separation,
+    }
+}
+
+/// Emits one `Classified` event per rank with a uniform verdict (the
+/// degenerate classification paths: too few files, or no separation).
+fn emit_verdicts(ranks: &[FileRank], verdict: Verdict) {
+    if !trace::enabled() {
+        return;
+    }
+    for rank in ranks {
+        trace::emit_with(|| TraceEvent::Classified {
+            unit: rank.path.clone(),
+            verdict,
+        });
     }
 }
 
@@ -516,6 +547,10 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
         // draw order), dispatch, fold — the planner half is OS-free, so
         // the same plan/fold code serves the gray-sched worker path.
         let plan = self.planner.draw_plan(size, self.os.page_size());
+        trace::emit_with(|| TraceEvent::ProbePlanned {
+            target: format!("size:{size}"),
+            probes: plan.specs.len() as u64,
+        });
         let samples = if plan.specs.is_empty() {
             // Tiny and empty files issue no probes at all — not even an
             // empty batch syscall.
@@ -581,6 +616,7 @@ impl<'a, O: GrayBoxOs> Fccd<'a, O> {
     }
 
     fn rank_one(&self, path: &str) -> FileRank {
+        let _span = trace::span("plan", || path.to_string());
         let Ok(fd) = self.os.open(path) else {
             return self.planner.rank_unopenable(path);
         };

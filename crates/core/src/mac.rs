@@ -56,6 +56,7 @@ use core::fmt;
 use std::cell::RefCell;
 
 use gray_toolbox::repository::keys;
+use gray_toolbox::trace::{self, TraceEvent};
 use gray_toolbox::{GrayDuration, ParamRepository, Summary};
 
 use crate::os::{GrayBoxOs, MemRegion, OsError, OsResult};
@@ -252,6 +253,11 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
             let fit = self.probe_available(max, page)?;
             let admitted = round_down(fit, multiple);
             if admitted >= min {
+                trace::emit_with(|| TraceEvent::AdmissionDecision {
+                    source: "mac.gb_alloc",
+                    requested: max,
+                    granted: admitted,
+                });
                 // Re-allocate exactly the admitted amount and make it
                 // resident, so the caller starts from a known state and
                 // the identify-and-allocate step is atomic from the
@@ -259,6 +265,11 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
                 return self.materialize(admitted, page).map(Some);
             }
         }
+        trace::emit_with(|| TraceEvent::AdmissionDecision {
+            source: "mac.gb_alloc",
+            requested: max,
+            granted: 0,
+        });
         Ok(None)
     }
 
@@ -331,6 +342,11 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
                     slow_run += 1;
                     if slow_run >= self.params.slow_run_threshold {
                         daemon = true;
+                        trace::emit_with(|| TraceEvent::ThresholdCrossed {
+                            what: "mac.page_daemon",
+                            value: slow_run as f64,
+                            threshold: self.params.slow_run_threshold as f64,
+                        });
                         break 'touch;
                     }
                 } else {
@@ -340,6 +356,11 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
         }
         let fits = !daemon && self.verify_resident(region, pages, th)?;
         self.stats.borrow_mut().probe_time += self.os.now().since(probe_start);
+        trace::emit_with(|| TraceEvent::AdmissionDecision {
+            source: "mac.gb_alloc_admitted",
+            requested: bytes,
+            granted: if fits { bytes } else { 0 },
+        });
         if !fits {
             self.os.mem_free(region)?;
             return Ok(None);
@@ -386,6 +407,15 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
     /// succeed cleanly. (The cost of the second round is part of the probe
     /// overhead the paper reports.)
     fn probe_available(&self, max: u64, page: u64) -> OsResult<u64> {
+        let fit = self.probe_available_rounds(max, page)?;
+        trace::emit_with(|| TraceEvent::Estimated {
+            quantity: "mac.available_bytes",
+            value: fit as f64,
+        });
+        Ok(fit)
+    }
+
+    fn probe_available_rounds(&self, max: u64, page: u64) -> OsResult<u64> {
         let thresholds = self.ensure_thresholds()?;
         let init_pages = (self.params.initial_increment / page).max(1);
         let mut ceiling = max.div_ceil(page);
@@ -453,6 +483,11 @@ impl<'a, O: GrayBoxOs> Mac<'a, O> {
                         if slow_run >= self.params.slow_run_threshold {
                             daemon_suspected = true;
                             touched_upto = s.offset + 1;
+                            trace::emit_with(|| TraceEvent::ThresholdCrossed {
+                                what: "mac.page_daemon",
+                                value: slow_run as f64,
+                                threshold: self.params.slow_run_threshold as f64,
+                            });
                             break 'first;
                         }
                     } else {

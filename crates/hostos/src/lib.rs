@@ -56,6 +56,13 @@ impl HostOs {
     pub fn new(root: impl AsRef<Path>) -> io::Result<Self> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
+        if gray_toolbox::trace::enabled() {
+            // Give the tracer this backend's clock, so records emitted
+            // outside the probe loop (plans, verdicts, guard moves) share
+            // a timebase with the probe events' fast-timer stamps.
+            let timer = FastTimer::new();
+            gray_toolbox::trace::set_clock(move || timer.now());
+        }
         Ok(HostOs {
             root,
             timer: FastTimer::new(),
@@ -370,9 +377,18 @@ impl GrayBoxOs for HostOs {
             let t0 = self.timer.now();
             let res = file.read_at(&mut byte, spec.offset);
             let t1 = self.timer.now();
+            let elapsed = t1.since(t0);
+            // Trace timestamps come from the calibrated fast timer — the
+            // same clock that timed the probe — not the tracer's default.
+            gray_toolbox::trace::emit_with_at(t1, || {
+                gray_toolbox::trace::TraceEvent::ProbeIssued {
+                    offset: spec.offset,
+                    latency_ns: elapsed.as_nanos(),
+                }
+            });
             out.push(ProbeSample {
                 offset: spec.offset,
-                elapsed: t1.since(t0),
+                elapsed,
                 ok: matches!(res, Ok(n) if n > 0),
             });
         }

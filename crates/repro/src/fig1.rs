@@ -17,6 +17,7 @@ use gray_apps::workload::make_file;
 use gray_toolbox::correlation;
 use gray_toolbox::rng::StdRng;
 use gray_toolbox::rng::{RngExt, SeedableRng};
+use gray_toolbox::trace;
 use graybox::os::GrayBoxOs;
 use simos::Sim;
 
@@ -112,13 +113,25 @@ fn run_access_pattern(sim: &mut Sim, path: &str, file_size: u64, access_unit: u6
 
 /// The Figure 1 statistic: across prediction units, correlate "a random
 /// page of the unit is present" (0/1) with "fraction of the unit present".
+///
+/// Each unit's probe outcome is the figure's elementary inference, so it
+/// is emitted as a `Classified { Present | Absent }` trace event — the
+/// figure-level counterpart of FCCD's cached/uncached verdicts.
 fn probe_correlation(bitmap: &[bool], unit_pages: u64, rng: &mut StdRng) -> f64 {
     let unit_pages = unit_pages.max(1) as usize;
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for unit in bitmap.chunks(unit_pages) {
+    for (i, unit) in bitmap.chunks(unit_pages).enumerate() {
         let frac = unit.iter().filter(|&&b| b).count() as f64 / unit.len() as f64;
         let probe = unit[rng.random_range(0..unit.len())];
+        trace::emit_with(|| trace::TraceEvent::Classified {
+            unit: format!("pu:{i}"),
+            verdict: if probe {
+                trace::Verdict::Present
+            } else {
+                trace::Verdict::Absent
+            },
+        });
         xs.push(if probe { 1.0 } else { 0.0 });
         ys.push(frac);
     }

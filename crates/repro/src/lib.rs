@@ -101,6 +101,34 @@ impl Scale {
     }
 }
 
+/// Enables trace export when a figure binary is asked for it: an explicit
+/// `--trace <path>` argument wins; otherwise the `GRAY_TRACE` environment
+/// variable is honored. Returns the sink path when tracing is on, so the
+/// binary can report it via [`finish_tracing`].
+pub fn init_tracing() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        let path = args
+            .get(pos + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "gray-trace.jsonl".to_string());
+        gray_toolbox::trace::enable_jsonl(&path)
+            .unwrap_or_else(|e| panic!("cannot open trace sink {path}: {e}"));
+        return Some(path);
+    }
+    gray_toolbox::trace::init_from_env()
+}
+
+/// Flushes and closes the trace sink opened by [`init_tracing`] and tells
+/// the user where the events went.
+pub fn finish_tracing(sink: Option<String>) {
+    gray_toolbox::trace::shutdown();
+    if let Some(path) = sink {
+        eprintln!("trace: events written to {path}");
+    }
+}
+
 /// Statistics of repeated trials, in seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrialStats {

@@ -11,6 +11,7 @@
 //! verifies residency per grant, so stale estimates fail closed instead
 //! of overcommitting).
 
+use gray_toolbox::trace::{self, TraceEvent};
 use graybox::mac::{GbAlloc, Mac};
 use graybox::os::{GrayBoxOs, OsResult};
 
@@ -100,21 +101,46 @@ impl MacAdmissionQueue {
             let min = round_up(req.min.max(req.multiple), req.multiple);
             let max = round_down(req.max, req.multiple);
             if max == 0 || min > max {
+                trace::emit_with(|| TraceEvent::AdmissionDecision {
+                    source: "sched.admission",
+                    requested: req.max,
+                    granted: 0,
+                });
                 grants.push(None);
                 continue;
             }
             let grant = round_down(remaining.min(max), req.multiple);
             if grant < min {
+                trace::emit_with(|| TraceEvent::AdmissionDecision {
+                    source: "sched.admission",
+                    requested: req.max,
+                    granted: 0,
+                });
                 grants.push(None);
                 continue;
             }
             match mac.gb_alloc_admitted(grant)? {
                 Some(alloc) => {
                     remaining -= alloc.bytes;
+                    trace::emit_with(|| TraceEvent::AdmissionDecision {
+                        source: "sched.admission",
+                        requested: req.max,
+                        granted: alloc.bytes,
+                    });
                     grants.push(Some(alloc));
                 }
                 None => {
                     remaining /= 2;
+                    trace::emit_with(|| TraceEvent::ThresholdCrossed {
+                        what: "sched.admission.stale_grant",
+                        value: grant as f64,
+                        threshold: remaining as f64,
+                    });
+                    trace::emit_with(|| TraceEvent::AdmissionDecision {
+                        source: "sched.admission",
+                        requested: req.max,
+                        granted: 0,
+                    });
                     grants.push(None);
                 }
             }

@@ -67,6 +67,10 @@ impl FccdFleet {
     /// Draws one file's probe plan and wraps it for the scheduler.
     fn plan_for(&self, path: &str, size: u64) -> (FccdFilePlan, ProbePlan) {
         let plan = self.planner.draw_plan(size, self.page_size);
+        gray_toolbox::trace::emit_with(|| gray_toolbox::trace::TraceEvent::ProbePlanned {
+            target: path.to_string(),
+            probes: plan.specs.len() as u64,
+        });
         let probe = ProbePlan {
             path: path.to_string(),
             specs: plan.specs.clone(),

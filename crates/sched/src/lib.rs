@@ -30,6 +30,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use gray_toolbox::repository::{keys, ParamRepository};
+use gray_toolbox::trace::{self, TraceEvent};
 use gray_toolbox::GrayDuration;
 
 pub mod admission;
@@ -213,6 +214,7 @@ impl Scheduler {
                 wave.push(plan);
             }
             let concurrency = self.concurrency;
+            trace::set_wave(self.waves.len() as u64);
             let outcome = exec.run_wave(&wave);
             assert_eq!(
                 outcome.results.len(),
@@ -236,7 +238,16 @@ impl Scheduler {
                     self.concurrency += 1;
                 }
             }
+            // One transition per wave, even when the count holds, so the
+            // worker level over time reconstructs from the trace alone.
+            let workers = self.concurrency;
+            trace::emit_with(|| TraceEvent::GuardTransition {
+                cv,
+                workers_before: concurrency,
+                workers,
+            });
         }
+        trace::clear_wave();
     }
 
     /// Removes and returns the result for `handle`, or `None` if the plan

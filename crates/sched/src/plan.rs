@@ -63,6 +63,9 @@ impl PlanResult {
 /// close — so a concurrency-1 scheduler run is syscall-for-syscall the
 /// same as direct dispatch. The equivalence tests pin this.
 pub fn execute_plan<O: GrayBoxOs>(os: &O, plan: &ProbePlan) -> PlanResult {
+    // Runs on the worker (one simulated process per plan under simos), so
+    // the span names the plan on every backend-emitted probe event.
+    let _span = gray_toolbox::trace::span("plan", || plan.path.clone());
     let fd: Fd = match os.open(&plan.path) {
         Ok(fd) => fd,
         Err(e) => {

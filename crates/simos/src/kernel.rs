@@ -491,9 +491,16 @@ impl Kernel {
                 let t0 = self.sys_now(pid);
                 let res = self.sys_read(pid, fd, spec.offset, 1, None);
                 let t1 = self.sys_now(pid);
+                let elapsed = t1.since(t0);
+                gray_toolbox::trace::emit_with_at(t1, || {
+                    gray_toolbox::trace::TraceEvent::ProbeIssued {
+                        offset: spec.offset,
+                        latency_ns: elapsed.as_nanos(),
+                    }
+                });
                 out.push(ProbeSample {
                     offset: spec.offset,
-                    elapsed: t1.since(t0),
+                    elapsed,
                     ok: matches!(res, Ok(n) if n > 0),
                 });
             }
@@ -559,9 +566,18 @@ impl Kernel {
                 }
             }
             let t1 = self.sys_now(pid);
+            let elapsed = t1.since(t0);
+            // Virtual-time probe event: the simulated clock, not the host
+            // clock, is what a timeline of this run must be drawn in.
+            gray_toolbox::trace::emit_with_at(t1, || {
+                gray_toolbox::trace::TraceEvent::ProbeIssued {
+                    offset: spec.offset,
+                    latency_ns: elapsed.as_nanos(),
+                }
+            });
             out.push(ProbeSample {
                 offset: spec.offset,
-                elapsed: t1.since(t0),
+                elapsed,
                 ok,
             });
         }

@@ -33,12 +33,14 @@ pub mod rng;
 pub mod sampling;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use cluster::{kmeans1d, two_means, Clustering};
 pub use outlier::{discard_outliers, mad, OutlierPolicy};
 pub use repository::{ParamRepository, RepositoryError};
 pub use sampling::{Reservoir, StreamingRegression};
 pub use stats::{
-    correlation, linear_regression, paired_sign_test, percentile, Ewma, OnlineStats, Summary,
+    correlation, linear_regression, paired_sign_test, percentile, Ewma, Log2Histogram, OnlineStats,
+    Summary,
 };
 pub use time::{Duration as GrayDuration, Nanos};

@@ -256,12 +256,44 @@ impl ParamRepository {
         parse: impl Fn(&str) -> Result<T, E>,
     ) -> Result<Option<T>, RepositoryError> {
         match self.entries.get(key) {
-            None => Ok(None),
+            None => {
+                // A miss is legal — every caller has a built-in default —
+                // but it means the caller runs uncalibrated, which used to
+                // be invisible. Leave a trace event (and, in debug builds,
+                // one stderr note per key) so stale-default reads show up.
+                crate::trace::emit_with(|| crate::trace::TraceEvent::RepositoryMiss {
+                    key: key.to_string(),
+                });
+                report_miss_once(key);
+                Ok(None)
+            }
             Some(raw) => parse(raw).map(Some).map_err(|_| RepositoryError::BadValue {
                 key: key.to_string(),
                 value: raw.clone(),
             }),
         }
+    }
+}
+
+/// In debug builds, prints one note per missing key per process. Release
+/// builds stay silent (the trace event still fires when tracing is on).
+fn report_miss_once(key: &str) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static REPORTED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    let reported = REPORTED.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut set = match reported.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if set.insert(key.to_string()) {
+        eprintln!(
+            "gray-toolbox: repository key `{key}` read before calibration \
+             wrote it; caller falls back to its built-in default"
+        );
     }
 }
 
@@ -313,6 +345,24 @@ mod tests {
     fn missing_key_is_none_not_error() {
         let repo = ParamRepository::in_memory();
         assert_eq!(repo.get_f64("nope").unwrap(), None);
+    }
+
+    #[test]
+    fn missing_key_emits_trace_event() {
+        use crate::trace::{self, TraceEvent};
+        let guard = trace::capture();
+        let lane = guard.lane();
+        let repo = ParamRepository::in_memory();
+        assert_eq!(repo.get_u64("fccd.uncalibrated_key").unwrap(), None);
+        let misses: Vec<String> = trace::drain()
+            .into_iter()
+            .filter(|r| r.lane == lane)
+            .filter_map(|r| match r.event {
+                TraceEvent::RepositoryMiss { key } => Some(key),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(misses, vec!["fccd.uncalibrated_key".to_string()]);
     }
 
     #[test]

@@ -407,6 +407,113 @@ pub fn paired_sign_test(before: &[f64], after: &[f64]) -> SignTest {
     }
 }
 
+/// A histogram with power-of-two bucket boundaries, for latency
+/// distributions whose interesting structure spans orders of magnitude
+/// (cache hits in microseconds, disk misses in milliseconds).
+///
+/// Bucket `i` holds values whose bit length is `i` — i.e. values in
+/// `[2^(i-1), 2^i)` — with bucket 0 reserved for zero. Recording is O(1)
+/// and allocation-free, so the tracer can feed it on the probe path.
+///
+/// # Examples
+///
+/// ```
+/// use gray_toolbox::Log2Histogram;
+///
+/// let mut h = Log2Histogram::new();
+/// for ns in [900u64, 1100, 1200, 950_000] {
+///     h.record(ns);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile_bound(50.0) <= 2048);
+/// assert!(h.percentile_bound(100.0) >= 950_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Total values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The raw bucket counts; bucket `i` covers `[2^(i-1), 2^i)`.
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// Upper bound (exclusive, as a value) of the bucket containing the
+    /// `p`-th percentile, or 0 if empty. Coarse by construction — the
+    /// answer is correct to within a factor of two.
+    pub fn percentile_bound(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i >= 64 { u64::MAX } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Compact rendering of the non-empty buckets as
+    /// `upper_bound:count` pairs, e.g. `2048:17 4096:3`.
+    pub fn summary(&self) -> String {
+        let parts: Vec<String> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let bound = if i >= 64 {
+                    "max".to_string()
+                } else {
+                    format!("{}", 1u64 << i)
+                };
+                format!("{bound}:{n}")
+            })
+            .collect();
+        parts.join(" ")
+    }
+}
+
 /// P(X = k) for X ~ Binomial(n, 1/2), computed in log-space for stability.
 fn binomial_pmf_half(n: usize, k: usize) -> f64 {
     // log C(n, k) via lgamma-free accumulation.
@@ -554,6 +661,46 @@ mod tests {
         let t = paired_sign_test(&[1.0, 1.0], &[1.0, 1.0]);
         assert_eq!(t.ties, 2);
         assert_eq!(t.p_value, 1.0);
+    }
+
+    #[test]
+    fn log2_histogram_buckets_by_bit_length() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.buckets()[0], 1); // zero
+        assert_eq!(h.buckets()[1], 1); // 1
+        assert_eq!(h.buckets()[2], 2); // 2, 3
+        assert_eq!(h.buckets()[11], 1); // 1024
+        assert!(h.summary().contains("2048:1"));
+    }
+
+    #[test]
+    fn log2_histogram_percentile_bounds() {
+        let mut h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.record(1000); // bucket 10, bound 1024
+        }
+        h.record(1_000_000); // bucket 20, bound 1048576
+        assert_eq!(h.percentile_bound(50.0), 1024);
+        assert_eq!(h.percentile_bound(100.0), 1_048_576);
+        assert_eq!(Log2Histogram::new().percentile_bound(50.0), 0);
+    }
+
+    #[test]
+    fn log2_histogram_merge_adds_counts() {
+        let mut a = Log2Histogram::new();
+        a.record(10);
+        let mut b = Log2Histogram::new();
+        b.record(10);
+        b.record(100_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[4], 2);
     }
 
     #[test]

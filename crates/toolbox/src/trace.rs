@@ -1,0 +1,891 @@
+//! gray-trace: structured tracing and metrics for the probe lifecycle.
+//!
+//! Every ICL inference rests on a chain of small decisions — an offset was
+//! drawn, a probe was timed, a unit was classified, a guard backed off —
+//! and when an inference goes wrong the figure output alone cannot say
+//! which link broke. This module records that chain as typed events:
+//!
+//! - [`TraceEvent::ProbePlanned`] — an ICL drew a probe plan for a target;
+//! - [`TraceEvent::ProbeIssued`] — one probe executed, with its latency
+//!   (emitted by the backends: virtual time under simos, `FastTimer` time
+//!   under hostos);
+//! - [`TraceEvent::Classified`] — a prediction unit received a verdict;
+//! - [`TraceEvent::ThresholdCrossed`] — a detector tripped (page-daemon
+//!   slow-run, two-means separation, admission budget halving);
+//! - [`TraceEvent::GuardTransition`] — the scheduler's AIMD guard moved
+//!   (or held) its worker count after a wave;
+//! - [`TraceEvent::AdmissionDecision`] — a memory request was granted or
+//!   denied, and for how many bytes;
+//! - [`TraceEvent::Estimated`] — an ICL published a scalar estimate
+//!   (e.g. MAC's available-memory figure), joinable against oracle truth;
+//! - [`TraceEvent::RepositoryMiss`] — a calibration key was read before
+//!   anything wrote it (the caller silently fell back to a default).
+//!
+//! # Cost model
+//!
+//! The subsystem is designed to be compiled in everywhere and *always on*
+//! in the sense that call sites never need `#[cfg]`s: when tracing is
+//! disabled (the default), [`emit_with`] is one relaxed atomic load and a
+//! branch — no allocation, no lock, and the event-constructing closure is
+//! never called. When enabled, records go through one mutex into a bounded
+//! ring buffer (and, if configured, a buffered JSONL sink), and counters
+//! plus a log2 latency histogram aggregate alongside. "Lock-free-ish":
+//! the fast path (disabled check) is lock-free; recording is not.
+//!
+//! # Identity
+//!
+//! Each record carries three coordinates so a timeline can be
+//! reconstructed per wave, per plan, and per process:
+//!
+//! - `wave` — the scheduler stamps the current wave index process-wide
+//!   while a wave is in flight ([`set_wave`]);
+//! - `span` — a thread-local stack of `kind:label` segments pushed by
+//!   [`span`] guards (e.g. `plan:/f3`); simulated processes are real
+//!   threads, so a span pushed inside a worker names that worker's plan;
+//! - `lane` — a small per-thread integer; under simos one lane is one
+//!   simulated process.
+//!
+//! # Sinks
+//!
+//! The ring buffer ([`drain`]) serves in-process consumers: tests, the
+//! accuracy scorer, and [`render_timeline`]. The JSONL sink
+//! ([`enable_jsonl`], or `GRAY_TRACE=path` via [`init_from_env`]) streams
+//! every record as one JSON object per line, so rare-but-important events
+//! (guard transitions) survive even when probe events wrap the ring.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::stats::Log2Histogram;
+use crate::time::Nanos;
+
+/// Default ring-buffer capacity (records). Probe-heavy runs wrap; the
+/// JSONL sink, when configured, still sees every record.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// A classification verdict attached to a [`TraceEvent::Classified`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Predicted resident in the cache.
+    Cached,
+    /// Predicted not resident.
+    Uncached,
+    /// A single probed page was observed present.
+    Present,
+    /// A single probed page was observed absent.
+    Absent,
+}
+
+impl Verdict {
+    /// The verdict's JSONL spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Cached => "cached",
+            Verdict::Uncached => "uncached",
+            Verdict::Present => "present",
+            Verdict::Absent => "absent",
+        }
+    }
+}
+
+/// One typed event in the probe lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An ICL drew a probe plan: `probes` offsets against `target`.
+    ProbePlanned {
+        /// What will be probed (a file path, or a memory-region tag).
+        target: String,
+        /// Number of probe offsets in the plan.
+        probes: u64,
+    },
+    /// One probe executed. Emitted by the backend that serviced it, with
+    /// the backend's own clock (virtual nanoseconds under simos).
+    ProbeIssued {
+        /// Byte offset probed.
+        offset: u64,
+        /// Observed service latency in nanoseconds.
+        latency_ns: u64,
+    },
+    /// A prediction unit received a verdict.
+    Classified {
+        /// The unit's identity (a file path for FCCD; `pu:<i>` for
+        /// per-unit probes in fig1).
+        unit: String,
+        /// The verdict.
+        verdict: Verdict,
+    },
+    /// A detector compared a value against its threshold and tripped.
+    ThresholdCrossed {
+        /// Which detector (e.g. `mac.page_daemon`, `fccd.separation`).
+        what: &'static str,
+        /// The observed value.
+        value: f64,
+        /// The threshold it was compared against.
+        threshold: f64,
+    },
+    /// The scheduler's AIMD guard finished judging a wave. Emitted once
+    /// per wave even when the worker count holds, so the full worker
+    /// count over time can be reconstructed from the event stream alone.
+    GuardTransition {
+        /// Coefficient of variation of per-plan mean probe times.
+        cv: f64,
+        /// Worker count the wave ran at.
+        workers_before: usize,
+        /// Worker count after the guard's verdict.
+        workers: usize,
+    },
+    /// A memory request was admitted (or not).
+    AdmissionDecision {
+        /// Who decided (e.g. `mac.gb_alloc`, `sched.admission`).
+        source: &'static str,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes granted; 0 means denied.
+        granted: u64,
+    },
+    /// An ICL published a scalar estimate of hidden OS state.
+    Estimated {
+        /// The quantity (e.g. `mac.available_bytes`).
+        quantity: &'static str,
+        /// The estimate's value.
+        value: f64,
+    },
+    /// A repository key was read before calibration wrote it.
+    RepositoryMiss {
+        /// The key that was missing.
+        key: String,
+    },
+}
+
+impl TraceEvent {
+    /// The event's type name, as spelled in JSONL and counter keys.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ProbePlanned { .. } => "ProbePlanned",
+            TraceEvent::ProbeIssued { .. } => "ProbeIssued",
+            TraceEvent::Classified { .. } => "Classified",
+            TraceEvent::ThresholdCrossed { .. } => "ThresholdCrossed",
+            TraceEvent::GuardTransition { .. } => "GuardTransition",
+            TraceEvent::AdmissionDecision { .. } => "AdmissionDecision",
+            TraceEvent::Estimated { .. } => "Estimated",
+            TraceEvent::RepositoryMiss { .. } => "RepositoryMiss",
+        }
+    }
+
+    /// The event's payload as JSON object fields (no braces), e.g.
+    /// `"offset":4096,"latency_ns":2500`.
+    pub fn payload_json(&self) -> String {
+        match self {
+            TraceEvent::ProbePlanned { target, probes } => {
+                format!("\"target\":{},\"probes\":{probes}", json_string(target))
+            }
+            TraceEvent::ProbeIssued { offset, latency_ns } => {
+                format!("\"offset\":{offset},\"latency_ns\":{latency_ns}")
+            }
+            TraceEvent::Classified { unit, verdict } => {
+                format!(
+                    "\"unit\":{},\"verdict\":\"{}\"",
+                    json_string(unit),
+                    verdict.as_str()
+                )
+            }
+            TraceEvent::ThresholdCrossed {
+                what,
+                value,
+                threshold,
+            } => format!(
+                "\"what\":{},\"value\":{},\"threshold\":{}",
+                json_string(what),
+                json_f64(*value),
+                json_f64(*threshold)
+            ),
+            TraceEvent::GuardTransition {
+                cv,
+                workers_before,
+                workers,
+            } => format!(
+                "\"cv\":{},\"workers_before\":{workers_before},\"workers\":{workers}",
+                json_f64(*cv)
+            ),
+            TraceEvent::AdmissionDecision {
+                source,
+                requested,
+                granted,
+            } => format!(
+                "\"source\":{},\"requested\":{requested},\"granted\":{granted}",
+                json_string(source)
+            ),
+            TraceEvent::Estimated { quantity, value } => format!(
+                "\"quantity\":{},\"value\":{}",
+                json_string(quantity),
+                json_f64(*value)
+            ),
+            TraceEvent::RepositoryMiss { key } => format!("\"key\":{}", json_string(key)),
+        }
+    }
+}
+
+/// One recorded event with its identity coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    /// Timestamp in nanoseconds. From the emitting backend's clock when
+    /// the site used [`emit_with_at`]; otherwise host-monotonic
+    /// nanoseconds since the tracer first initialised.
+    pub ts: Nanos,
+    /// Scheduler wave index in flight when the event fired, if any.
+    pub wave: Option<u64>,
+    /// `/`-joined span path from the emitting thread's span stack
+    /// (empty when no span was open).
+    pub span: String,
+    /// Small per-thread lane id (one simulated process = one lane).
+    pub lane: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Renders the record as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"seq\":{},\"ts_ns\":{},\"lane\":{}",
+            self.seq,
+            self.ts.as_nanos(),
+            self.lane
+        );
+        if let Some(w) = self.wave {
+            s.push_str(&format!(",\"wave\":{w}"));
+        }
+        if !self.span.is_empty() {
+            s.push_str(&format!(",\"span\":{}", json_string(&self.span)));
+        }
+        s.push_str(&format!(
+            ",\"type\":\"{}\",{}}}",
+            self.event.kind(),
+            self.event.payload_json()
+        ));
+        s
+    }
+}
+
+/// Aggregated counters and histograms, snapshotted by [`metrics`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceMetrics {
+    /// Event count per event kind.
+    pub counts: BTreeMap<&'static str, u64>,
+    /// Log2 histogram of [`TraceEvent::ProbeIssued`] latencies (ns).
+    pub probe_latency: Log2Histogram,
+}
+
+/// Bounded ring of records: pushes evict the oldest once full.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceRecord>,
+    capacity: usize,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    /// Total records ever pushed (so tests can observe eviction).
+    pushed: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Ring {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    fn push(&mut self, rec: TraceRecord) {
+        self.pushed += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        let mut out: Vec<TraceRecord> = self.buf.drain(self.head..).collect();
+        out.append(&mut self.buf);
+        self.head = 0;
+        out
+    }
+}
+
+struct TracerState {
+    seq: u64,
+    ring: Ring,
+    sink: Option<BufWriter<File>>,
+    metrics: TraceMetrics,
+    clock: Option<Box<dyn Fn() -> Nanos + Send>>,
+}
+
+impl TracerState {
+    fn new(capacity: usize) -> Self {
+        TracerState {
+            seq: 0,
+            ring: Ring::new(capacity),
+            sink: None,
+            metrics: TraceMetrics::default(),
+            clock: None,
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CURRENT_WAVE: AtomicU64 = AtomicU64::new(u64::MAX);
+static NEXT_LANE: AtomicU64 = AtomicU64::new(0);
+
+fn state() -> &'static Mutex<TracerState> {
+    static STATE: OnceLock<Mutex<TracerState>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(TracerState::new(DEFAULT_RING_CAPACITY)))
+}
+
+fn lock_state() -> MutexGuard<'static, TracerState> {
+    match state().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    static LANE: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+fn lane_id() -> u64 {
+    LANE.with(|c| {
+        if c.get() == u64::MAX {
+            c.set(NEXT_LANE.fetch_add(1, Ordering::Relaxed));
+        }
+        c.get()
+    })
+}
+
+/// Whether tracing is currently enabled. One relaxed atomic load — this
+/// is the entire cost of every instrumentation site in a disabled build.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records an event if tracing is enabled; the closure is never called
+/// (and nothing allocates) when it is not. Timestamped from the
+/// registered clock, or host-monotonic time by default.
+#[inline]
+pub fn emit_with(f: impl FnOnce() -> TraceEvent) {
+    if !enabled() {
+        return;
+    }
+    record(None, f());
+}
+
+/// Like [`emit_with`], but the caller supplies the timestamp — used by
+/// backends whose probes are timed on their own clock (simos virtual
+/// time, hostos `FastTimer`).
+#[inline]
+pub fn emit_with_at(ts: Nanos, f: impl FnOnce() -> TraceEvent) {
+    if !enabled() {
+        return;
+    }
+    record(Some(ts), f());
+}
+
+fn record(ts: Option<Nanos>, event: TraceEvent) {
+    let lane = lane_id();
+    let span = SPAN_STACK.with(|s| s.borrow().join("/"));
+    let wave = match CURRENT_WAVE.load(Ordering::Relaxed) {
+        u64::MAX => None,
+        w => Some(w),
+    };
+    let mut st = lock_state();
+    let ts = ts.unwrap_or_else(|| match &st.clock {
+        Some(clock) => clock(),
+        None => Nanos(epoch().elapsed().as_nanos() as u64),
+    });
+    let seq = st.seq;
+    st.seq += 1;
+    *st.metrics.counts.entry(event.kind()).or_insert(0) += 1;
+    if let TraceEvent::ProbeIssued { latency_ns, .. } = event {
+        st.metrics.probe_latency.record(latency_ns);
+    }
+    let rec = TraceRecord {
+        seq,
+        ts,
+        wave,
+        span,
+        lane,
+        event,
+    };
+    if let Some(sink) = st.sink.as_mut() {
+        let _ = writeln!(sink, "{}", rec.to_json());
+    }
+    st.ring.push(rec);
+}
+
+/// Enables tracing into the in-process ring buffer only.
+pub fn enable() {
+    enable_with_capacity(DEFAULT_RING_CAPACITY);
+}
+
+/// Enables tracing with an explicit ring capacity (tests exercise
+/// wraparound with small rings).
+pub fn enable_with_capacity(capacity: usize) {
+    let mut st = lock_state();
+    st.ring = Ring::new(capacity);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Enables tracing and streams every record to `path` as JSONL, in
+/// addition to the ring buffer.
+pub fn enable_jsonl(path: &str) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut st = lock_state();
+    st.ring = Ring::new(DEFAULT_RING_CAPACITY);
+    st.sink = Some(BufWriter::new(file));
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Enables the JSONL sink if the `GRAY_TRACE` environment variable names
+/// a path. Returns the path when tracing was turned on.
+pub fn init_from_env() -> Option<String> {
+    let path = std::env::var("GRAY_TRACE").ok()?;
+    if path.is_empty() {
+        return None;
+    }
+    match enable_jsonl(&path) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("gray-trace: cannot open GRAY_TRACE={path}: {e}");
+            None
+        }
+    }
+}
+
+/// Flushes the JSONL sink (no-op without one).
+pub fn flush() {
+    let mut st = lock_state();
+    if let Some(sink) = st.sink.as_mut() {
+        let _ = sink.flush();
+    }
+}
+
+/// Disables tracing, flushes and closes the sink, and clears the
+/// registered clock. Ring contents survive until [`drain`].
+pub fn shutdown() {
+    ENABLED.store(false, Ordering::Relaxed);
+    CURRENT_WAVE.store(u64::MAX, Ordering::Relaxed);
+    let mut st = lock_state();
+    if let Some(mut sink) = st.sink.take() {
+        let _ = sink.flush();
+    }
+    st.clock = None;
+}
+
+/// Registers the default timestamp source for records emitted without an
+/// explicit time (e.g. hostos registers its calibrated `FastTimer`).
+pub fn set_clock(clock: impl Fn() -> Nanos + Send + 'static) {
+    lock_state().clock = Some(Box::new(clock));
+}
+
+/// Stamps the scheduler wave index onto subsequently emitted records,
+/// process-wide (the scheduler dispatches waves one at a time).
+pub fn set_wave(index: u64) {
+    CURRENT_WAVE.store(index, Ordering::Relaxed);
+}
+
+/// Clears the wave stamp after dispatch finishes.
+pub fn clear_wave() {
+    CURRENT_WAVE.store(u64::MAX, Ordering::Relaxed);
+}
+
+/// Pushes a `kind:label` span segment onto this thread's span stack; the
+/// guard pops it on drop. When tracing is disabled nothing is pushed and
+/// the label closure is never called.
+pub fn span(kind: &'static str, label: impl FnOnce() -> String) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { pushed: false };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(format!("{kind}:{}", label())));
+    SpanGuard { pushed: true }
+}
+
+/// Guard returned by [`span`]; pops its segment when dropped.
+pub struct SpanGuard {
+    pushed: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.pushed {
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Removes and returns every record in the ring, oldest first.
+pub fn drain() -> Vec<TraceRecord> {
+    lock_state().ring.drain()
+}
+
+/// Total records ever pushed (drained or evicted records included).
+pub fn records_pushed() -> u64 {
+    lock_state().ring.pushed
+}
+
+/// Snapshot of the aggregated counters and latency histogram.
+pub fn metrics() -> TraceMetrics {
+    lock_state().metrics.clone()
+}
+
+/// Resets counters and histograms (records are untouched).
+pub fn reset_metrics() {
+    lock_state().metrics = TraceMetrics::default();
+}
+
+fn capture_lock() -> &'static Mutex<()> {
+    static CAPTURE: OnceLock<Mutex<()>> = OnceLock::new();
+    CAPTURE.get_or_init(|| Mutex::new(()))
+}
+
+/// Exclusive tracing session for tests and in-process scorers.
+///
+/// The global tracer is process-wide state; concurrent tests that each
+/// enabled it would interleave their events. `capture()` serialises such
+/// users behind one lock, clears the ring and metrics, enables tracing,
+/// and disables it again when the guard drops (panic-safe). Callers
+/// [`drain`] before dropping the guard.
+pub fn capture() -> CaptureGuard {
+    let lock = match capture_lock().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    {
+        let mut st = lock_state();
+        st.ring = Ring::new(DEFAULT_RING_CAPACITY);
+        st.metrics = TraceMetrics::default();
+    }
+    ENABLED.store(true, Ordering::Relaxed);
+    CaptureGuard { _lock: lock }
+}
+
+/// Guard returned by [`capture`]; ends the tracing session on drop.
+pub struct CaptureGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl CaptureGuard {
+    /// This thread's lane id, for filtering records down to events the
+    /// capturing test emitted itself (other test threads in the same
+    /// process may emit while the session is open).
+    pub fn lane(&self) -> u64 {
+        lane_id()
+    }
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::Relaxed);
+        CURRENT_WAVE.store(u64::MAX, Ordering::Relaxed);
+    }
+}
+
+/// Renders records as a per-wave lane view: one section per scheduler
+/// wave (plus one for out-of-wave events), one lane per span/thread, with
+/// probe counts, latency ranges, and the wave's guard verdict.
+pub fn render_timeline(records: &[TraceRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut waves: Vec<Option<u64>> = records.iter().map(|r| r.wave).collect();
+    waves.sort();
+    waves.dedup();
+    for wave in waves {
+        match wave {
+            Some(w) => {
+                let _ = writeln!(out, "wave {w}");
+            }
+            None => {
+                let _ = writeln!(out, "(no wave)");
+            }
+        }
+        let in_wave: Vec<&TraceRecord> = records.iter().filter(|r| r.wave == wave).collect();
+        // Lanes keyed by span (falling back to the thread lane id).
+        let mut lanes: Vec<String> = in_wave
+            .iter()
+            .map(|r| {
+                if r.span.is_empty() {
+                    format!("lane {}", r.lane)
+                } else {
+                    r.span.clone()
+                }
+            })
+            .collect();
+        lanes.sort();
+        lanes.dedup();
+        for lane in &lanes {
+            let recs: Vec<&&TraceRecord> = in_wave
+                .iter()
+                .filter(|r| {
+                    let key = if r.span.is_empty() {
+                        format!("lane {}", r.lane)
+                    } else {
+                        r.span.clone()
+                    };
+                    key == *lane
+                })
+                .collect();
+            let probes: Vec<u64> = recs
+                .iter()
+                .filter_map(|r| match r.event {
+                    TraceEvent::ProbeIssued { latency_ns, .. } => Some(latency_ns),
+                    _ => None,
+                })
+                .collect();
+            let mut line = format!("  {lane:<24}");
+            if probes.is_empty() {
+                line.push_str(" (no probes)");
+            } else {
+                let min = probes.iter().min().copied().unwrap_or(0);
+                let max = probes.iter().max().copied().unwrap_or(0);
+                let _ = write!(
+                    line,
+                    " {:>4} probes  {:>9}ns..{:<9}ns ",
+                    probes.len(),
+                    min,
+                    max
+                );
+                // A crude magnitude bar: one '#' per log2 of max latency.
+                let bar = (64 - max.leading_zeros()) as usize;
+                line.push_str(&"#".repeat(bar.min(32)));
+            }
+            let _ = writeln!(out, "{line}");
+            for r in &recs {
+                match &r.event {
+                    TraceEvent::Classified { unit, verdict } => {
+                        let _ = writeln!(out, "    classified {unit} -> {}", verdict.as_str());
+                    }
+                    TraceEvent::ThresholdCrossed {
+                        what,
+                        value,
+                        threshold,
+                    } => {
+                        let _ = writeln!(out, "    threshold {what}: {value:.3} vs {threshold:.3}");
+                    }
+                    TraceEvent::AdmissionDecision {
+                        source,
+                        requested,
+                        granted,
+                    } => {
+                        let _ =
+                            writeln!(out, "    admission {source}: {granted}/{requested} bytes");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for r in &in_wave {
+            if let TraceEvent::GuardTransition {
+                cv,
+                workers_before,
+                workers,
+            } = r.event
+            {
+                let _ = writeln!(
+                    out,
+                    "  guard: cv={cv:.3} workers {workers_before} -> {workers}"
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as valid JSON (non-finite values become 0).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // `{}` on a whole f64 prints no decimal point; keep it a JSON
+        // number either way (integers are valid JSON numbers).
+        s
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_emit_is_inert_and_closure_never_runs() {
+        // Not under `capture()`: tracing must be off unless some other
+        // test holds the capture lock — so take it to be sure.
+        let guard = capture();
+        drop(guard); // now definitely disabled, and we still hold no lock
+        let mut ran = false;
+        emit_with(|| {
+            ran = true;
+            TraceEvent::RepositoryMiss { key: String::new() }
+        });
+        assert!(!ran, "closure must not run while disabled");
+    }
+
+    #[test]
+    fn ring_wraps_and_drains_in_order() {
+        let mut ring = Ring::new(4);
+        for i in 0..7u64 {
+            ring.push(TraceRecord {
+                seq: i,
+                ts: Nanos(i),
+                wave: None,
+                span: String::new(),
+                lane: 0,
+                event: TraceEvent::ProbeIssued {
+                    offset: i,
+                    latency_ns: 1,
+                },
+            });
+        }
+        assert_eq!(ring.pushed, 7);
+        let seqs: Vec<u64> = ring.drain().into_iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5, 6], "oldest evicted, order kept");
+        assert!(ring.drain().is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn capture_records_and_counts() {
+        let guard = capture();
+        let lane = guard.lane();
+        emit_with(|| TraceEvent::Classified {
+            unit: "/f0".to_string(),
+            verdict: Verdict::Cached,
+        });
+        emit_with_at(Nanos(42), || TraceEvent::ProbeIssued {
+            offset: 4096,
+            latency_ns: 2500,
+        });
+        let recs: Vec<TraceRecord> = drain().into_iter().filter(|r| r.lane == lane).collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].ts, Nanos(42), "explicit ts honoured");
+        let m = metrics();
+        assert!(m.counts["Classified"] >= 1);
+        assert!(m.counts["ProbeIssued"] >= 1);
+        assert!(m.probe_latency.count() >= 1);
+    }
+
+    #[test]
+    fn spans_nest_and_pop() {
+        let guard = capture();
+        let lane = guard.lane();
+        {
+            let _wave = span("wave", || "7".to_string());
+            let _plan = span("plan", || "/f1".to_string());
+            emit_with(|| TraceEvent::ProbePlanned {
+                target: "/f1".to_string(),
+                probes: 3,
+            });
+        }
+        emit_with(|| TraceEvent::ProbePlanned {
+            target: "/f2".to_string(),
+            probes: 3,
+        });
+        let recs: Vec<TraceRecord> = drain().into_iter().filter(|r| r.lane == lane).collect();
+        assert_eq!(recs[0].span, "wave:7/plan:/f1");
+        assert_eq!(recs[1].span, "", "span popped after guard drop");
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let rec = TraceRecord {
+            seq: 3,
+            ts: Nanos(100),
+            wave: Some(2),
+            span: "plan:/a \"b\"".to_string(),
+            lane: 1,
+            event: TraceEvent::GuardTransition {
+                cv: 0.75,
+                workers_before: 4,
+                workers: 2,
+            },
+        };
+        let line = rec.to_json();
+        assert_eq!(
+            line,
+            "{\"seq\":3,\"ts_ns\":100,\"lane\":1,\"wave\":2,\
+             \"span\":\"plan:/a \\\"b\\\"\",\"type\":\"GuardTransition\",\
+             \"cv\":0.75,\"workers_before\":4,\"workers\":2}"
+        );
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+    }
+
+    #[test]
+    fn timeline_renders_waves_and_guard() {
+        let recs = vec![
+            TraceRecord {
+                seq: 0,
+                ts: Nanos(0),
+                wave: Some(0),
+                span: "plan:/f0".to_string(),
+                lane: 1,
+                event: TraceEvent::ProbeIssued {
+                    offset: 0,
+                    latency_ns: 3000,
+                },
+            },
+            TraceRecord {
+                seq: 1,
+                ts: Nanos(5),
+                wave: Some(0),
+                span: String::new(),
+                lane: 0,
+                event: TraceEvent::GuardTransition {
+                    cv: 0.1,
+                    workers_before: 2,
+                    workers: 3,
+                },
+            },
+        ];
+        let text = render_timeline(&recs);
+        assert!(text.contains("wave 0"));
+        assert!(text.contains("plan:/f0"));
+        assert!(text.contains("workers 2 -> 3"));
+    }
+}

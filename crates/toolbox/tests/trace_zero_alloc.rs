@@ -1,0 +1,65 @@
+//! The disabled tracer's overhead budget, enforced: an emission site whose
+//! sink is off must cost one branch — in particular it must never build
+//! the event, so it must never allocate. A counting global allocator
+//! makes "never allocates" a hard assertion instead of a code-review
+//! promise. (The toolbox lib forbids `unsafe`; a `#[global_allocator]`
+//! needs it, which is why this lives in an integration test — its own
+//! crate — rather than in `src/trace.rs`.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+// One test function only: a second test running on a sibling thread would
+// allocate into the shared counter and make the window flaky.
+#[test]
+fn disabled_emission_and_spans_allocate_nothing() {
+    use gray_toolbox::trace::{self, TraceEvent, Verdict};
+
+    assert!(
+        !trace::enabled(),
+        "tracing must start disabled in a fresh process"
+    );
+    // Warm up any lazily initialized thread-local machinery outside the
+    // measured window.
+    trace::emit_with(|| TraceEvent::ProbePlanned {
+        target: String::new(),
+        probes: 0,
+    });
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..100_000u64 {
+        trace::emit_with(|| TraceEvent::ProbePlanned {
+            target: format!("file{i}"),
+            probes: i,
+        });
+        trace::emit_with(|| TraceEvent::Classified {
+            unit: format!("unit{i}"),
+            verdict: Verdict::Cached,
+        });
+        let _span = trace::span("plan", || format!("p{i}"));
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled emit_with/span must not run closures or allocate"
+    );
+}

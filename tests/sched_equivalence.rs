@@ -197,6 +197,70 @@ fn sched_and_direct_classify_identically_under_simos() {
     );
 }
 
+/// The trace a concurrency-1 dispatch emits is a pure function of the
+/// case seed: two identical runs produce identical `(wave, span, event)`
+/// streams. Sequence numbers and timestamps are excluded — seq is global
+/// across threads and other tests in this binary may emit while our
+/// capture is open (which is also why records are filtered to this
+/// thread's lane; `MockOs` plus [`InlineExecutor`] keeps every event of
+/// the dispatch on the test thread).
+#[test]
+fn serial_dispatch_trace_is_deterministic() {
+    use graybox_icl::toolbox::trace;
+    check(
+        "serial_dispatch_trace_is_deterministic",
+        8,
+        |g: &mut Gen| {
+            let page = 4096u64;
+            let params = FccdParams {
+                access_unit: 2 * page,
+                prediction_unit: page,
+                seed: g.u64(1..u64::MAX),
+                ..FccdParams::default()
+            };
+            let files: Vec<(String, u64)> = (0..g.range(2usize..5))
+                .map(|i| (format!("/f{i}"), g.u64(1..6) * page))
+                .collect();
+            let warm: Vec<Vec<u64>> = files
+                .iter()
+                .map(|(_, size)| (0..size.div_ceil(page)).filter(|_| g.bool()).collect())
+                .collect();
+            let run = || {
+                let cap = trace::capture();
+                let os = MockOs::new(1 << 20, 16);
+                for (path, size) in &files {
+                    os.write_file(path, &vec![0u8; *size as usize]).unwrap();
+                }
+                os.flush_cache();
+                for ((path, _), pages) in files.iter().zip(&warm) {
+                    os.warm(path, pages.iter().copied());
+                }
+                let fleet = FccdFleet::with_fixed_seed(&os, params.clone(), 0);
+                let mut sched = serial_scheduler();
+                let mut exec = InlineExecutor::new(&os);
+                let _ = fleet.classify_files(&mut sched, &mut exec, &files);
+                let lane = cap.lane();
+                trace::drain()
+                    .into_iter()
+                    .filter(|r| r.lane == lane)
+                    .map(|r| (r.wave, r.span, r.event))
+                    .collect::<Vec<_>>()
+            };
+            let a = run();
+            let b = run();
+            assert!(!a.is_empty(), "instrumented dispatch must emit events");
+            assert!(
+                a.iter().any(|(w, _, _)| w.is_some()),
+                "dispatch must stamp wave identity onto in-wave events"
+            );
+            assert_eq!(
+                a, b,
+                "concurrency-1 event stream must be seed-deterministic"
+            );
+        },
+    );
+}
+
 const MB: u64 = 1 << 20;
 
 /// Total bytes granted to two pooled `gb_alloc` requests, optionally with

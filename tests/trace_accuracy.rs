@@ -1,0 +1,97 @@
+//! Tier-1 accuracy pin: the trace-event/oracle join must score a fully
+//! determined scenario exactly.
+//!
+//! A noise-free simulated machine gets a corpus whose residency is forced
+//! by construction (half the files re-read after a flush, half left
+//! cold), so FCCD's verdicts — emitted as `Classified` trace events and
+//! joined against the oracle by `simos::score` — have an exactly
+//! computable confusion matrix: all six files right, precision and recall
+//! both 1.0. MAC's availability estimate on the same idle machine must
+//! land within 10% of the oracle's free-page count — the bar the paper's
+//! "reliably returns (830 − x) MB" claim sets.
+
+use graybox_icl::apps::workload::make_files;
+use graybox_icl::graybox::fccd::{Fccd, FccdParams};
+use graybox_icl::graybox::mac::{Mac, MacParams};
+use graybox_icl::graybox::os::GrayBoxOs;
+use graybox_icl::simos::score::{score_fccd, score_mac};
+use graybox_icl::simos::{Sim, SimConfig};
+use graybox_icl::toolbox::trace;
+
+const FILES: usize = 6;
+const FILE_BYTES: u64 = 512 << 10;
+
+fn fccd_params() -> FccdParams {
+    FccdParams {
+        access_unit: 1 << 20,
+        prediction_unit: 256 << 10,
+        ..FccdParams::default()
+    }
+}
+
+#[test]
+fn fccd_verdicts_score_exactly_against_the_oracle() {
+    let cap = trace::capture();
+    let mut sim = Sim::new(SimConfig::small().without_noise());
+    let paths = sim.run_one(|os| make_files(os, "/acc", FILES, FILE_BYTES).unwrap());
+    sim.flush_file_cache();
+    let warm: Vec<String> = paths.iter().step_by(2).cloned().collect();
+    let warm_count = warm.len() as u64;
+    sim.run_one(move |os| {
+        for p in &warm {
+            let fd = os.open(p).unwrap();
+            os.read_discard(fd, 0, FILE_BYTES).unwrap();
+            os.close(fd).unwrap();
+        }
+    });
+    let probe_paths = paths.clone();
+    sim.run_one(move |os| Fccd::with_fixed_seed(os, fccd_params()).classify_files(&probe_paths));
+
+    // No lane filtering: Classified events fire on sim-proc lanes, and
+    // the scorer already ignores every foreign event shape.
+    let records = trace::drain();
+    drop(cap);
+    let score = score_fccd(&sim.oracle(), &records);
+    assert_eq!(
+        score.scored(),
+        FILES as u64,
+        "every file must produce one joinable verdict: {score:?}"
+    );
+    assert_eq!(score.true_positives, warm_count, "{score:?}");
+    assert_eq!(score.true_negatives, FILES as u64 - warm_count, "{score:?}");
+    assert_eq!(score.precision(), 1.0, "{score:?}");
+    assert_eq!(score.recall(), 1.0, "{score:?}");
+}
+
+#[test]
+fn mac_estimate_lands_within_ten_percent_of_oracle_truth() {
+    let cap = trace::capture();
+    let mut sim = Sim::new(SimConfig::small().without_noise());
+    let oracle = sim.oracle();
+    let truth_bytes = (oracle
+        .total_pages()
+        .saturating_sub(oracle.resident_pages() as u64)
+        * 4096) as f64;
+    let ceiling = oracle.total_pages() * 4096 * 2;
+    sim.run_one(move |os| {
+        let mac = Mac::new(
+            os,
+            MacParams {
+                initial_increment: 1 << 20,
+                max_increment: 4 << 20,
+                ..MacParams::default()
+            },
+        );
+        mac.available_estimate(ceiling).unwrap()
+    });
+    let records = trace::drain();
+    drop(cap);
+    let score = score_mac(&records, truth_bytes).expect("MAC probe emits its estimate");
+    assert!(
+        score.abs_error() <= 0.10,
+        "MAC estimate {:.0} vs oracle free {:.0}: {:.1}% off",
+        score.estimated_bytes,
+        score.truth_bytes,
+        score.abs_error() * 100.0
+    );
+}
