@@ -1,0 +1,5 @@
+//! `cargo bench --bench daemon` — see `gray_bench::suites::daemon`.
+
+fn main() {
+    gray_bench::suites::run_standalone(gray_bench::suites::daemon::register);
+}

@@ -1,10 +1,10 @@
 //! The benchmark runner: sweeps every suite and persists a baseline file.
 //!
 //! ```text
-//! cargo run --release -p gray-bench --bin bench              # full run → BENCH_PR5.json
+//! cargo run --release -p gray-bench --bin bench              # full run → BENCH_PR6.json
 //! cargo run --release -p gray-bench --bin bench -- --smoke   # 1 warmup + 1 iter each → BENCH_SMOKE.json
 //! cargo run --release -p gray-bench --bin bench -- fccd      # substring filter, as with cargo bench
-//! cargo run --release -p gray-bench --bin bench -- --diff BENCH_PR4.json BENCH_PR5.json
+//! cargo run --release -p gray-bench --bin bench -- --diff BENCH_PR5.json BENCH_PR6.json
 //! cargo run --release -p gray-bench --bin bench -- --diff --strict old.json new.json  # exit 1 on regression
 //! ```
 //!
@@ -32,7 +32,7 @@ use gray_toolbox::bench::Harness;
 use std::time::Duration;
 
 /// Baseline file for full runs (committed at the repo root).
-const BASELINE: &str = "BENCH_PR5.json";
+const BASELINE: &str = "BENCH_PR6.json";
 /// Output for smoke runs (existence proof only, never committed).
 const SMOKE_OUT: &str = "BENCH_SMOKE.json";
 /// Mean-time ratio above which `--diff` flags a benchmark as regressed.
@@ -131,6 +131,15 @@ fn main() {
         acc.mac_abs_err * 100.0
     );
     headlines.push_str(&format!(",\n  \"accuracy\": {{{}}}", acc.json_fields()));
+    // The daemon headline is virtual-time deterministic too: 24 tenants,
+    // 10k+ queries through one shared daemon, exact even under --smoke.
+    let d = suites::daemon::run();
+    println!(
+        "gbd daemon: {} tenants, {} queries, hit rate {:.3}, {} admitted / {} shed, \
+         {} reinfers, {:.0} virtual ns/query",
+        d.tenants, d.queries, d.hit_rate, d.admitted, d.shed, d.reinfers, d.virtual_ns_per_query
+    );
+    headlines.push_str(&format!(",\n  \"gbd\": {{{}}}", d.json_fields()));
 
     let json = format!(
         "{{\n  \"schema\": \"gray-bench-baseline/v1\",\n  \"smoke\": {smoke},\n{}{headlines}\n}}\n",
@@ -152,6 +161,20 @@ fn diff(old_path: &str, new_path: &str) -> i32 {
     let mut regressed = 0usize;
     let mut compared = 0usize;
     println!("diff {old_path} → {new_path} (regression bar {REGRESSION}x)");
+    // Whole suites may exist in only one file (a PR adds or retires a
+    // suite); that is a fact to report, not an error to die on.
+    let old_suites = read_suites(old_path);
+    let new_suites = read_suites(new_path);
+    for s in &new_suites {
+        if !old_suites.contains(s) {
+            println!("  new suite {s} (entries below report as new)");
+        }
+    }
+    for s in &old_suites {
+        if !new_suites.contains(s) {
+            println!("  removed suite {s}");
+        }
+    }
     for (name, new_mean) in &new {
         let Some(old_mean) = old.iter().find(|(n, _)| n == name).map(|(_, m)| *m) else {
             println!("  new       {name}: {new_mean:.0} ns");
@@ -175,7 +198,9 @@ fn diff(old_path: &str, new_path: &str) -> i32 {
             println!("  removed   {name}");
         }
     }
-    let hard = diff_accuracy(old_path, new_path) + diff_virtual(old_path, new_path);
+    let hard = diff_accuracy(old_path, new_path)
+        + diff_virtual(old_path, new_path)
+        + diff_gbd(old_path, new_path);
     println!(
         "{compared} compared: {regressed} host-time slower (informational), \
          {hard} deterministic regressions"
@@ -239,6 +264,84 @@ fn diff_accuracy(old_path: &str, new_path: &str) -> usize {
         }
     }
     regressed
+}
+
+/// Compares the daemon headline — virtual-time deterministic, like the
+/// scheduler speedup. Hit rate and shed rate get the same absolute slack
+/// as accuracy (they are ratios of exact counters, so slack only
+/// forgives intentional scenario re-tuning); the per-query virtual cost
+/// gets the 10% relative slack of the scheduler headline. A baseline
+/// from before the daemon suite has no line, so its fields report as
+/// new rather than erroring.
+fn diff_gbd(old_path: &str, new_path: &str) -> usize {
+    let read = |path: &str| -> Option<String> {
+        let text = std::fs::read_to_string(path).ok()?;
+        text.lines()
+            .find(|l| l.contains("\"virtual_ns_per_query\":"))
+            .map(str::to_string)
+    };
+    let Some(new_line) = read(new_path) else {
+        if read(old_path).is_some() {
+            println!("  removed   gbd daemon headline");
+        }
+        return 0;
+    };
+    let Some(old_line) = read(old_path) else {
+        println!("  new       gbd daemon headline");
+        return 0;
+    };
+    let mut regressed = 0usize;
+    let rate = |line: &str, num: &str, den: &str| -> Option<f64> {
+        Some(field_num(line, num)? / field_num(line, den)?.max(1.0))
+    };
+    if let (Some(old_v), Some(new_v)) = (
+        rate(&old_line, "hits", "queries"),
+        rate(&new_line, "hits", "queries"),
+    ) {
+        if old_v - new_v > ACCURACY_SLACK {
+            regressed += 1;
+            println!("  REGRESSED gbd.hit_rate: {old_v:.4} → {new_v:.4}");
+        } else if new_v - old_v > ACCURACY_SLACK {
+            println!("  improved  gbd.hit_rate: {old_v:.4} → {new_v:.4}");
+        }
+    }
+    if let (Some(old_v), Some(new_v)) = (
+        rate(&old_line, "shed", "queries"),
+        rate(&new_line, "shed", "queries"),
+    ) {
+        if new_v - old_v > ACCURACY_SLACK {
+            regressed += 1;
+            println!("  REGRESSED gbd.shed_rate: {old_v:.4} → {new_v:.4}");
+        } else if old_v - new_v > ACCURACY_SLACK {
+            println!("  improved  gbd.shed_rate: {old_v:.4} → {new_v:.4}");
+        }
+    }
+    if let (Some(old_v), Some(new_v)) = (
+        field_num(&old_line, "virtual_ns_per_query"),
+        field_num(&new_line, "virtual_ns_per_query"),
+    ) {
+        if new_v > old_v * 1.1 {
+            regressed += 1;
+            println!("  REGRESSED gbd.virtual_ns_per_query: {old_v:.0} → {new_v:.0}");
+        } else if new_v < old_v * 0.9 {
+            println!("  improved  gbd.virtual_ns_per_query: {old_v:.0} → {new_v:.0}");
+        }
+    }
+    regressed
+}
+
+/// The suite-section names of a baseline file (`"toolbox": [` lines).
+fn read_suites(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| {
+            let t = l.trim_end();
+            let name = t.strip_suffix("\": [")?.trim_start().strip_prefix('"')?;
+            Some(name.to_string())
+        })
+        .collect()
 }
 
 /// Extracts the accuracy fields from a baseline file's `"accuracy"` line.

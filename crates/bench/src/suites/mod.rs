@@ -5,6 +5,7 @@
 
 pub mod ablations;
 pub mod accuracy;
+pub mod daemon;
 pub mod figures;
 pub mod icl;
 pub mod sched;
@@ -18,13 +19,14 @@ use std::time::Duration;
 pub type Register = fn(&mut Harness);
 
 /// All suites, in baseline-file order: `(target name, register fn)`.
-pub const ALL: [(&str, Register); 6] = [
+pub const ALL: [(&str, Register); 7] = [
     ("toolbox", toolbox::register),
     ("substrate", substrate::register),
     ("icl", icl::register),
     ("figures", figures::register),
     ("ablations", ablations::register),
     ("sched", sched::register),
+    ("daemon", daemon::register),
 ];
 
 /// Runs one suite standalone with the `cargo bench` timing budget — the

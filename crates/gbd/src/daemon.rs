@@ -1,0 +1,674 @@
+//! The daemon proper: tenants, queries, and the serve loop.
+//!
+//! `Gbd` owns one probe [`Scheduler`], one [`InferenceCache`], and one
+//! AIMD [`QueryAdmission`] budget, shared by every tenant. Tenants hold a
+//! [`GbdClient`] — a cloneable handle over the in-process mailbox — and
+//! the daemon drains, executes, and answers in *ticks*
+//! ([`Gbd::serve`]), because the simulated substrate runs exactly one
+//! process at a time: clients enqueue between ticks, the daemon probes
+//! during them.
+//!
+//! A tick processes the drained batch in arrival order:
+//!
+//! 1. **Cache.** Each cacheable query is looked up under the staleness
+//!    policy; hits answer immediately. Identical misses within the tick
+//!    coalesce onto one execution.
+//! 2. **Admission.** Probe-needing misses consume the AIMD budget;
+//!    queries over budget are answered [`Reply::Shed`].
+//! 3. **Execution.** All admitted FCCD queries submit their plans to the
+//!    shared scheduler and dispatch together, so tenants' probes pool
+//!    into shared waves; MAC allocation requests pool behind one
+//!    [`MacAdmissionQueue`] pass; the rest run one by one.
+//! 4. **Churn.** The tick's fresh per-file verdicts are handed to the
+//!    staleness policy; contradicted entries are evicted and re-inferred
+//!    (budget permitting).
+//! 5. **AIMD.** The scheduler's wave statistics move the admission budget.
+
+use std::collections::BTreeMap;
+
+use gray_sched::AdmissionRequest;
+use gray_sched::{FccdFleet, MacAdmissionQueue, Scheduler, SimExecutor};
+use gray_toolbox::mailbox::{Mailbox, MailboxClient, Ticket};
+use gray_toolbox::trace::{self, TraceEvent};
+use gray_toolbox::Nanos;
+use graybox::fccd::{classify_ranks, FileRank};
+use graybox::fldc::Fldc;
+use graybox::mac::Mac;
+use simos::Sim;
+
+use crate::admission::QueryAdmission;
+use crate::cache::{CacheEntry, InferenceCache, Lookup, StalenessPolicy};
+use crate::{GbdConfig, GbdError};
+
+/// One gray-box inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// FCCD: split these files into predicted-cached / predicted-uncached.
+    /// `(path, size-hint)` pairs, exactly as the fleet planner takes them.
+    FccdClassify {
+        /// The candidate files.
+        files: Vec<(String, u64)>,
+    },
+    /// MAC: estimate available memory, probing no further than `ceiling`.
+    MacAvailable {
+        /// Probe ceiling in bytes.
+        ceiling: u64,
+    },
+    /// MAC: admit a `gb_alloc`-shaped allocation (pooled with every other
+    /// allocation request in the tick behind one probe pass). The daemon
+    /// reports the admitted size and releases the memory — it answers the
+    /// sizing question, it does not hold tenants' memory.
+    GbAlloc {
+        /// Smallest useful grant, bytes.
+        min: u64,
+        /// Largest useful grant, bytes.
+        max: u64,
+        /// Grants are rounded down to a multiple of this.
+        multiple: u64,
+    },
+    /// FLDC: the directory's files in predicted on-disk layout order.
+    FldcOrder {
+        /// The directory to order.
+        dir: String,
+    },
+}
+
+impl Query {
+    /// The cache key: a stable fingerprint of the query's content.
+    pub fn fingerprint(&self) -> String {
+        match self {
+            Query::FccdClassify { files } => {
+                let mut s = String::from("fccd:");
+                for (i, (path, size)) in files.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(path);
+                    s.push('#');
+                    s.push_str(&size.to_string());
+                }
+                s
+            }
+            Query::MacAvailable { ceiling } => format!("mac.available:{ceiling}"),
+            Query::GbAlloc { min, max, multiple } => {
+                format!("mac.alloc:{min}:{max}:{multiple}")
+            }
+            Query::FldcOrder { dir } => format!("fldc:{dir}"),
+        }
+    }
+
+    /// Whether the answer may be served from cache. Allocation requests
+    /// are side-effecting (each grant reflects memory at that instant and
+    /// is consumed by the asker), so they always execute.
+    fn cacheable(&self) -> bool {
+        !matches!(self, Query::GbAlloc { .. })
+    }
+
+    /// Whether execution issues timing probes (and therefore consumes the
+    /// admission budget). FLDC reads metadata only.
+    fn needs_probes(&self) -> bool {
+        !matches!(self, Query::FldcOrder { .. })
+    }
+}
+
+/// The daemon's answer to one query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// FCCD verdicts, bit-identical to `graybox::fccd::Classified`.
+    Classified {
+        /// Files in the fast cluster, fastest first.
+        cached: Vec<FileRank>,
+        /// Files in the slow cluster, fastest first.
+        uncached: Vec<FileRank>,
+        /// Two-means separation score in [0, 1].
+        separation: f64,
+    },
+    /// MAC available-memory estimate, bytes.
+    Available {
+        /// The estimate.
+        bytes: u64,
+    },
+    /// MAC allocation admitted for this many bytes (0 = denied).
+    Granted {
+        /// Admitted bytes.
+        bytes: u64,
+    },
+    /// FLDC layout order: paths, nearest-first.
+    Layout {
+        /// Paths in predicted layout order.
+        order: Vec<String>,
+    },
+    /// Load-shed by query admission; retry next tick.
+    Shed,
+    /// The backend failed the query.
+    Failed(String),
+}
+
+/// A reply plus its service metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The answer.
+    pub reply: Reply,
+    /// Whether it was served from the inference cache.
+    pub from_cache: bool,
+    /// Virtual time the response was posted.
+    pub served_at: Nanos,
+}
+
+/// Per-tenant accounting.
+#[derive(Debug, Clone, Default)]
+pub struct TenantStats {
+    /// Queries this tenant submitted.
+    pub queries: u64,
+    /// Served from cache.
+    pub hits: u64,
+    /// Shed by admission.
+    pub shed: u64,
+}
+
+/// A registered tenant.
+#[derive(Debug)]
+pub struct Tenant {
+    /// The tenant's name (spans read `tenant:<name>`).
+    pub name: String,
+    /// The tenant's gray-trace lane: every daemon-side record emitted on
+    /// this tenant's behalf carries it.
+    pub lane: u64,
+    /// Accounting.
+    pub stats: TenantStats,
+}
+
+/// Daemon-wide accounting, cumulative over ticks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GbdStats {
+    /// Serve ticks run.
+    pub ticks: u64,
+    /// Queries drained.
+    pub queries: u64,
+    /// Served from cache.
+    pub hits: u64,
+    /// Coalesced onto an identical in-tick execution.
+    pub coalesced: u64,
+    /// Shed by query admission.
+    pub shed: u64,
+    /// Cache entries aged out at lookup.
+    pub expired: u64,
+    /// Cache entries evicted by observed churn.
+    pub invalidated: u64,
+    /// Churn-evicted entries re-inferred within the tick.
+    pub reinfers: u64,
+    /// Probe-needing executions admitted.
+    pub admitted: u64,
+    /// Scheduler waves dispatched on the daemon's behalf.
+    pub waves: u64,
+}
+
+/// What one serve tick did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TickStats {
+    /// Queries drained this tick.
+    pub queries: usize,
+    /// Cache hits.
+    pub hits: usize,
+    /// Coalesced duplicates.
+    pub coalesced: usize,
+    /// Shed queries.
+    pub shed: usize,
+    /// Fresh executions.
+    pub executed: usize,
+    /// Churn re-inferences.
+    pub reinfers: usize,
+    /// Admission budget after the tick's AIMD update.
+    pub budget: usize,
+}
+
+/// A tenant's handle: submit queries, redeem responses.
+#[derive(Debug, Clone)]
+pub struct GbdClient {
+    inner: MailboxClient<Query, Response>,
+}
+
+impl GbdClient {
+    /// Enqueues a query for the next serve tick.
+    pub fn submit(&self, query: Query) -> Ticket {
+        self.inner.send(query)
+    }
+
+    /// Redeems a response (consuming), if the daemon has served it.
+    pub fn take(&self, ticket: Ticket) -> Option<Response> {
+        self.inner.try_take(ticket)
+    }
+}
+
+/// One coalesced unit of execution: a query plus everyone waiting on it.
+struct ExecItem {
+    key: String,
+    query: Query,
+    /// `(tenant index, ticket)`; the first waiter triggered the execution.
+    waiters: Vec<(usize, Ticket)>,
+}
+
+/// The daemon.
+pub struct Gbd {
+    cfg: GbdConfig,
+    policy: Box<dyn StalenessPolicy>,
+    sched: Scheduler,
+    cache: InferenceCache,
+    admission: QueryAdmission,
+    mailbox: Mailbox<Query, Response>,
+    tenants: Vec<Tenant>,
+    /// FCCD executions so far; decorrelates probe offsets across repeated
+    /// inferences when `cfg.decorrelate_seeds` is set.
+    fccd_execs: u64,
+    stats: GbdStats,
+}
+
+impl Gbd {
+    /// Creates a daemon with the given configuration and staleness policy.
+    pub fn new(cfg: GbdConfig, policy: Box<dyn StalenessPolicy>) -> Self {
+        let sched = Scheduler::new(cfg.sched.clone());
+        let admission = QueryAdmission::new(cfg.admission_budget);
+        Gbd {
+            cfg,
+            policy,
+            sched,
+            cache: InferenceCache::new(),
+            admission,
+            mailbox: Mailbox::new(),
+            tenants: Vec::new(),
+            fccd_execs: 0,
+            stats: GbdStats::default(),
+        }
+    }
+
+    /// Registers a tenant and returns its client handle, allocating the
+    /// tenant a gray-trace lane of its own. Fails once `gbd.max_tenants`
+    /// tenants exist.
+    pub fn register_tenant(&mut self, name: &str) -> Result<GbdClient, GbdError> {
+        if self.tenants.len() >= self.cfg.max_tenants {
+            return Err(GbdError::TenantLimit {
+                limit: self.cfg.max_tenants,
+            });
+        }
+        let client = self.mailbox.client();
+        debug_assert_eq!(client.id() as usize, self.tenants.len());
+        self.tenants.push(Tenant {
+            name: name.to_string(),
+            lane: trace::allocate_lane(),
+            stats: TenantStats::default(),
+        });
+        Ok(GbdClient { inner: client })
+    }
+
+    /// Cumulative daemon statistics.
+    pub fn stats(&self) -> &GbdStats {
+        &self.stats
+    }
+
+    /// The registered tenants, in registration order.
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Live inference-cache entry count.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The live admission budget (ceiling minus AIMD backoff).
+    pub fn admission_budget(&self) -> usize {
+        self.admission.budget()
+    }
+
+    /// How many times admission backed off.
+    pub fn admission_backoffs(&self) -> u64 {
+        self.admission.backoffs()
+    }
+
+    /// The staleness policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Drains and answers every pending query: one tick.
+    pub fn serve(&mut self, sim: &mut Sim) -> TickStats {
+        let batch = self.mailbox.drain();
+        let mut tick = TickStats {
+            queries: batch.len(),
+            ..TickStats::default()
+        };
+        self.stats.ticks += 1;
+        self.stats.queries += batch.len() as u64;
+
+        // Phase 1+2: cache, coalescing, admission.
+        let mut exec: Vec<ExecItem> = Vec::new();
+        let mut exec_by_key: BTreeMap<String, usize> = BTreeMap::new();
+        let mut admitted = 0usize;
+        let now = sim.now();
+        for env in batch {
+            let tenant = env.client as usize;
+            let (lane, name) = {
+                let t = &mut self.tenants[tenant];
+                t.stats.queries += 1;
+                (t.lane, t.name.clone())
+            };
+            let _lane = trace::lane_scope(lane);
+            let _span = trace::span("tenant", || name);
+            let key = env.req.fingerprint();
+            if env.req.cacheable() {
+                match self.cache.lookup(&key, now, self.policy.as_ref()) {
+                    Lookup::Hit(reply) => {
+                        trace::emit_with_at(now, || TraceEvent::CacheAccess {
+                            key: key.clone(),
+                            outcome: "hit",
+                        });
+                        self.tenants[tenant].stats.hits += 1;
+                        self.stats.hits += 1;
+                        tick.hits += 1;
+                        self.mailbox.reply(
+                            env.ticket,
+                            Response {
+                                reply,
+                                from_cache: true,
+                                served_at: now,
+                            },
+                        );
+                        continue;
+                    }
+                    Lookup::Expired => {
+                        trace::emit_with_at(now, || TraceEvent::CacheAccess {
+                            key: key.clone(),
+                            outcome: "expired",
+                        });
+                        self.stats.expired += 1;
+                    }
+                    Lookup::Miss => {
+                        trace::emit_with_at(now, || TraceEvent::CacheAccess {
+                            key: key.clone(),
+                            outcome: "miss",
+                        });
+                    }
+                }
+                // An identical query already executing this tick? Join it.
+                if let Some(&i) = exec_by_key.get(&key) {
+                    exec[i].waiters.push((tenant, env.ticket));
+                    self.stats.coalesced += 1;
+                    tick.coalesced += 1;
+                    continue;
+                }
+            }
+            // Fresh execution: pass admission if it needs probes.
+            if env.req.needs_probes() {
+                if admitted >= self.admission.budget() {
+                    trace::emit_with_at(now, || TraceEvent::AdmissionDecision {
+                        source: "gbd.query",
+                        requested: 1,
+                        granted: 0,
+                    });
+                    self.tenants[tenant].stats.shed += 1;
+                    self.stats.shed += 1;
+                    tick.shed += 1;
+                    self.mailbox.reply(
+                        env.ticket,
+                        Response {
+                            reply: Reply::Shed,
+                            from_cache: false,
+                            served_at: now,
+                        },
+                    );
+                    continue;
+                }
+                admitted += 1;
+                self.stats.admitted += 1;
+                trace::emit_with_at(now, || TraceEvent::AdmissionDecision {
+                    source: "gbd.query",
+                    requested: 1,
+                    granted: 1,
+                });
+            }
+            if env.req.cacheable() {
+                exec_by_key.insert(key.clone(), exec.len());
+            }
+            exec.push(ExecItem {
+                key,
+                query: env.req,
+                waiters: vec![(tenant, env.ticket)],
+            });
+        }
+
+        // Phase 3: execution, grouped so probes pool into shared waves.
+        tick.executed = exec.len();
+        let mut fresh_verdicts: BTreeMap<String, bool> = BTreeMap::new();
+
+        let mut fccd_items = Vec::new();
+        let mut alloc_items = Vec::new();
+        let mut other_items = Vec::new();
+        for item in exec {
+            match &item.query {
+                Query::FccdClassify { .. } => fccd_items.push(item),
+                Query::GbAlloc { .. } => alloc_items.push(item),
+                _ => other_items.push(item),
+            }
+        }
+
+        // FCCD: every tenant's plans submit to the shared scheduler, then
+        // one dispatch fans them out together.
+        let outcomes = self.execute_fccd(sim, &fccd_items);
+        for (item, (reply, verdicts)) in fccd_items.iter().zip(outcomes) {
+            for (path, v) in &verdicts {
+                fresh_verdicts.insert(path.clone(), *v);
+            }
+            self.finish_item(sim, item, reply, verdicts);
+        }
+
+        // MAC allocations: pooled behind one probe pass.
+        if !alloc_items.is_empty() {
+            let replies = self.execute_allocs(sim, &alloc_items);
+            for (item, reply) in alloc_items.iter().zip(replies) {
+                self.finish_item(sim, item, reply, BTreeMap::new());
+            }
+        }
+
+        // MAC estimates and FLDC orders, one by one.
+        for item in &other_items {
+            let reply = match &item.query {
+                Query::MacAvailable { ceiling } => {
+                    let params = self.cfg.mac.clone();
+                    let ceiling = *ceiling;
+                    match sim.run_one(move |os| Mac::new(os, params).available_estimate(ceiling)) {
+                        Ok(bytes) => Reply::Available { bytes },
+                        Err(e) => Reply::Failed(e.to_string()),
+                    }
+                }
+                Query::FldcOrder { dir } => {
+                    let dir = dir.clone();
+                    match sim.run_one(move |os| Fldc::new(os).order_directory(&dir)) {
+                        Ok(ranks) => Reply::Layout {
+                            order: ranks.into_iter().map(|r| r.path).collect(),
+                        },
+                        Err(e) => Reply::Failed(e.to_string()),
+                    }
+                }
+                _ => unreachable!("grouped above"),
+            };
+            self.finish_item(sim, item, reply, BTreeMap::new());
+        }
+
+        // Phase 4: observed churn. Entries the fresh verdicts contradict
+        // are evicted; budget permitting, they re-infer right away.
+        if !fresh_verdicts.is_empty() {
+            let stale = self.policy.invalidated_by(&self.cache, &fresh_verdicts);
+            for key in stale {
+                let Some(entry) = self.cache.remove(&key) else {
+                    continue;
+                };
+                self.stats.invalidated += 1;
+                trace::emit_with(|| TraceEvent::CacheAccess {
+                    key: key.clone(),
+                    outcome: "churned",
+                });
+                if admitted < self.admission.budget() {
+                    admitted += 1;
+                    self.stats.admitted += 1;
+                    self.stats.reinfers += 1;
+                    tick.reinfers += 1;
+                    let item = ExecItem {
+                        key: key.clone(),
+                        query: entry.query,
+                        waiters: Vec::new(),
+                    };
+                    let mut outcomes = self.execute_fccd(sim, std::slice::from_ref(&item));
+                    let (reply, verdicts) = outcomes.pop().expect("one outcome per item");
+                    trace::emit_with(|| TraceEvent::CacheAccess {
+                        key: key.clone(),
+                        outcome: "reinfer",
+                    });
+                    self.finish_item(sim, &item, reply, verdicts);
+                }
+            }
+        }
+
+        // Phase 5: the scheduler's own interference guard moves the
+        // query-admission budget, AIMD-style.
+        let waves = self.sched.take_waves();
+        self.stats.waves += waves.len() as u64;
+        self.admission
+            .observe_waves(&waves, self.cfg.sched.guard.cv_threshold);
+        tick.budget = self.admission.budget();
+        tick
+    }
+
+    /// Runs a batch of FCCD classifications through the shared scheduler:
+    /// submit every item's plans, dispatch once, fold each. Returns one
+    /// `(reply, verdicts)` per item, in order.
+    fn execute_fccd(
+        &mut self,
+        sim: &mut Sim,
+        items: &[ExecItem],
+    ) -> Vec<(Reply, BTreeMap<String, bool>)> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut submitted = Vec::with_capacity(items.len());
+        for item in items {
+            let Query::FccdClassify { files } = &item.query else {
+                unreachable!("execute_fccd takes FCCD items only");
+            };
+            let mut params = self.cfg.fccd.clone();
+            if self.cfg.decorrelate_seeds {
+                params.seed ^= self.fccd_execs.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            }
+            self.fccd_execs += 1;
+            let sub_batch = self.cfg.sched.sub_batch;
+            let fleet = sim.run_one(move |os| FccdFleet::with_fixed_seed(os, params, sub_batch));
+            let pending = fleet.submit_files(&mut self.sched, files);
+            submitted.push((fleet, pending));
+        }
+        self.sched.dispatch(&mut SimExecutor::new(sim));
+        items
+            .iter()
+            .zip(submitted)
+            .map(|(item, (fleet, pending))| {
+                // Fold (and emit `Classified` events) on the lane of the
+                // tenant that triggered the execution, when there is one.
+                let lane = item
+                    .waiters
+                    .first()
+                    .map(|(tenant, _)| self.tenants[*tenant].lane);
+                let _scope = lane.map(trace::lane_scope);
+                let classified = classify_ranks(fleet.fold_files(&mut self.sched, pending));
+                let mut verdicts = BTreeMap::new();
+                for rank in &classified.cached {
+                    verdicts.insert(rank.path.clone(), true);
+                }
+                for rank in &classified.uncached {
+                    verdicts.insert(rank.path.clone(), false);
+                }
+                let reply = Reply::Classified {
+                    cached: classified.cached,
+                    uncached: classified.uncached,
+                    separation: classified.separation,
+                };
+                (reply, verdicts)
+            })
+            .collect()
+    }
+
+    /// Pools every allocation request of the tick behind one
+    /// `MacAdmissionQueue` probe pass. Grants are measured and released —
+    /// the reply reports the admitted size.
+    fn execute_allocs(&mut self, sim: &mut Sim, items: &[ExecItem]) -> Vec<Reply> {
+        let requests: Vec<AdmissionRequest> = items
+            .iter()
+            .map(|item| {
+                let Query::GbAlloc { min, max, multiple } = &item.query else {
+                    unreachable!("execute_allocs takes allocation items only");
+                };
+                AdmissionRequest {
+                    min: *min,
+                    max: *max,
+                    multiple: (*multiple).max(1),
+                }
+            })
+            .collect();
+        let params = self.cfg.mac.clone();
+        sim.run_one(move |os| {
+            let mac = Mac::new(os, params);
+            let mut queue = MacAdmissionQueue::new();
+            for req in &requests {
+                queue.submit(*req);
+            }
+            match queue.admit_all(&mac) {
+                Err(e) => vec![Reply::Failed(e.to_string()); requests.len()],
+                Ok(grants) => grants
+                    .into_iter()
+                    .map(|grant| match grant {
+                        None => Reply::Granted { bytes: 0 },
+                        Some(alloc) => {
+                            let bytes = alloc.bytes;
+                            match mac.gb_free(alloc) {
+                                Ok(()) => Reply::Granted { bytes },
+                                Err(e) => Reply::Failed(e.to_string()),
+                            }
+                        }
+                    })
+                    .collect(),
+            }
+        })
+    }
+
+    /// Posts `reply` to every waiter of `item` and caches it if eligible.
+    fn finish_item(
+        &mut self,
+        sim: &Sim,
+        item: &ExecItem,
+        reply: Reply,
+        verdicts: BTreeMap<String, bool>,
+    ) {
+        let served_at = sim.now();
+        if item.query.cacheable() && !matches!(reply, Reply::Failed(_)) {
+            self.cache.insert(
+                item.key.clone(),
+                CacheEntry {
+                    query: item.query.clone(),
+                    reply: reply.clone(),
+                    stored_at: served_at,
+                    verdicts,
+                },
+            );
+        }
+        for (tenant, ticket) in &item.waiters {
+            let t = &self.tenants[*tenant];
+            let _lane = trace::lane_scope(t.lane);
+            let _span = trace::span("tenant", || t.name.clone());
+            self.mailbox.reply(
+                *ticket,
+                Response {
+                    reply: reply.clone(),
+                    from_cache: false,
+                    served_at,
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! gbd — the long-running multi-tenant gray-box inference daemon.
+//!
+//! Everything else in the workspace is one-shot: a figure driver builds
+//! its ICLs, probes, prints, exits. Nothing amortizes inference across
+//! clients, even though the paper's ICL vision implies exactly that — and
+//! prior work shows why a central service is the right shape: many
+//! concurrent observers of one page cache interfere with each other, so
+//! the observing should happen *once*, in a daemon clients query instead
+//! of probing themselves.
+//!
+//! `gbd` is that daemon:
+//!
+//! - **One scheduler, many tenants.** Every tenant's FCCD probe plans
+//!   submit to one shared `gray-sched` [`Scheduler`](gray_sched::Scheduler)
+//!   and dispatch together, so independent queries pool into shared waves
+//!   and the AIMD self-interference guard judges the *combined* load.
+//! - **An inference cache with pluggable staleness.** Repeated queries
+//!   are answered from cache under a [`StalenessPolicy`]: [`TtlOnly`]
+//!   serves entries until they age out; [`ChurnAware`] additionally
+//!   evicts (and re-infers) any entry a fresh probe pass contradicts.
+//! - **Admission over its own load.** A per-tick AIMD budget — halved
+//!   when the scheduler's guard sees probes interfering, recovered one
+//!   slot per clean tick — sheds excess queries instead of letting the
+//!   daemon invalidate its own measurements.
+//! - **A trace lane per tenant.** Each tenant gets its own gray-trace
+//!   lane; daemon-side events (cache accesses, admission decisions,
+//!   classification verdicts) carry the lane of the tenant they serve, so
+//!   per-client telemetry falls out of the PR 5 tracer for free.
+//!
+//! Tunables (`gbd.cache_ttl`, `gbd.max_tenants`, `gbd.admission_budget`)
+//! come from the shared parameter repository, like the `sched.*` and
+//! `fccd.*` keys before them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod daemon;
+
+use gray_sched::SchedConfig;
+use gray_toolbox::repository::keys;
+use gray_toolbox::{GrayDuration, ParamRepository};
+use graybox::fccd::FccdParams;
+use graybox::mac::MacParams;
+
+pub use admission::QueryAdmission;
+pub use cache::{CacheEntry, ChurnAware, Disposition, InferenceCache, StalenessPolicy, TtlOnly};
+pub use daemon::{Gbd, GbdClient, GbdStats, Query, Reply, Response, Tenant, TickStats};
+
+use std::fmt;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct GbdConfig {
+    /// Inference-cache entry lifetime, in virtual time (`gbd.cache_ttl`).
+    pub cache_ttl: GrayDuration,
+    /// Most tenants the daemon registers (`gbd.max_tenants`).
+    pub max_tenants: usize,
+    /// Probe-needing queries admitted per tick at full budget
+    /// (`gbd.admission_budget`); the live budget moves AIMD-style below.
+    pub admission_budget: usize,
+    /// FCCD planner parameters shared by every tenant's queries.
+    pub fccd: FccdParams,
+    /// MAC parameters for estimates and pooled allocations.
+    pub mac: MacParams,
+    /// Shared probe-scheduler configuration (concurrency cap, sub-batch,
+    /// interference guard).
+    pub sched: SchedConfig,
+    /// Mix an execution counter into the FCCD probe-offset seed so
+    /// repeated inferences of the same files draw different offsets.
+    /// Off by default: with one seed the daemon's answers are
+    /// bit-identical to the direct one-shot path, which the equivalence
+    /// tests pin.
+    pub decorrelate_seeds: bool,
+}
+
+impl Default for GbdConfig {
+    fn default() -> Self {
+        GbdConfig {
+            cache_ttl: GrayDuration::from_millis(250),
+            max_tenants: 64,
+            admission_budget: 8,
+            fccd: FccdParams::default(),
+            mac: MacParams::default(),
+            sched: SchedConfig::default(),
+            decorrelate_seeds: false,
+        }
+    }
+}
+
+impl GbdConfig {
+    /// Builds a config from the parameter repository, falling back to the
+    /// defaults above for absent or zero keys (each absent read emits a
+    /// `RepositoryMiss` trace event, like every repository consumer).
+    /// `sched.*` and `fccd.*` keys are honoured through their own
+    /// `from_repository` constructors.
+    pub fn from_repository(repo: &ParamRepository) -> Self {
+        let mut cfg = GbdConfig {
+            fccd: FccdParams::from_repository(repo),
+            sched: SchedConfig::from_repository(repo),
+            ..GbdConfig::default()
+        };
+        if let Ok(Some(ttl)) = repo.get_duration(keys::GBD_CACHE_TTL) {
+            if ttl.as_nanos() > 0 {
+                cfg.cache_ttl = ttl;
+            }
+        }
+        if let Ok(Some(n)) = repo.get_u64(keys::GBD_MAX_TENANTS) {
+            if n > 0 {
+                cfg.max_tenants = n as usize;
+            }
+        }
+        if let Ok(Some(b)) = repo.get_u64(keys::GBD_ADMISSION_BUDGET) {
+            if b > 0 {
+                cfg.admission_budget = b as usize;
+            }
+        }
+        cfg
+    }
+
+    /// The TTL-only staleness policy at this config's TTL.
+    pub fn ttl_policy(&self) -> TtlOnly {
+        TtlOnly {
+            ttl: self.cache_ttl,
+        }
+    }
+
+    /// The churn-aware staleness policy at this config's TTL.
+    pub fn churn_policy(&self) -> ChurnAware {
+        ChurnAware {
+            ttl: self.cache_ttl,
+        }
+    }
+}
+
+/// Daemon errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GbdError {
+    /// `register_tenant` was called with `gbd.max_tenants` tenants live.
+    TenantLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for GbdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GbdError::TenantLimit { limit } => {
+                write!(f, "tenant limit reached ({limit} tenants)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GbdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simos::scenario;
+
+    fn small_cfg() -> GbdConfig {
+        GbdConfig {
+            fccd: FccdParams {
+                access_unit: 1 << 20,
+                prediction_unit: 256 << 10,
+                ..FccdParams::default()
+            },
+            sched: SchedConfig {
+                sub_batch: 0,
+                ..SchedConfig::default()
+            },
+            ..GbdConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_reads_gbd_keys_with_defaults() {
+        let mut repo = ParamRepository::in_memory();
+        repo.set_duration(keys::GBD_CACHE_TTL, GrayDuration::from_millis(75));
+        repo.set_raw(keys::GBD_MAX_TENANTS, 3u64);
+        repo.set_raw(keys::GBD_ADMISSION_BUDGET, 5u64);
+        let cfg = GbdConfig::from_repository(&repo);
+        assert_eq!(cfg.cache_ttl, GrayDuration::from_millis(75));
+        assert_eq!(cfg.max_tenants, 3);
+        assert_eq!(cfg.admission_budget, 5);
+        let dflt = GbdConfig::from_repository(&ParamRepository::in_memory());
+        assert_eq!(dflt.cache_ttl, GbdConfig::default().cache_ttl);
+        assert_eq!(dflt.max_tenants, GbdConfig::default().max_tenants);
+        assert_eq!(dflt.admission_budget, GbdConfig::default().admission_budget);
+    }
+
+    #[test]
+    fn absent_gbd_keys_emit_repository_misses() {
+        use gray_toolbox::trace::{self, TraceEvent};
+        let guard = trace::capture();
+        let lane = guard.lane();
+        let _ = GbdConfig::from_repository(&ParamRepository::in_memory());
+        let misses: Vec<String> = trace::drain()
+            .into_iter()
+            .filter(|r| r.lane == lane)
+            .filter_map(|r| match r.event {
+                TraceEvent::RepositoryMiss { key } => Some(key),
+                _ => None,
+            })
+            .collect();
+        for key in [
+            keys::GBD_CACHE_TTL,
+            keys::GBD_MAX_TENANTS,
+            keys::GBD_ADMISSION_BUDGET,
+        ] {
+            assert!(misses.iter().any(|k| k == key), "no miss for {key}");
+        }
+    }
+
+    #[test]
+    fn tenant_limit_is_enforced() {
+        let cfg = GbdConfig {
+            max_tenants: 2,
+            ..small_cfg()
+        };
+        let policy = cfg.ttl_policy();
+        let mut gbd = Gbd::new(cfg, Box::new(policy));
+        assert!(gbd.register_tenant("a").is_ok());
+        assert!(gbd.register_tenant("b").is_ok());
+        assert_eq!(
+            gbd.register_tenant("c").unwrap_err(),
+            GbdError::TenantLimit { limit: 2 }
+        );
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_and_coalesce() {
+        let cfg = small_cfg();
+        let policy = cfg.churn_policy();
+        let mut gbd = Gbd::new(cfg, Box::new(policy));
+        let mut sim = scenario::daemon_machine(2, 4);
+        let files = scenario::spread_corpus(&mut sim, 2, 2, 512 << 10);
+        scenario::warm(&mut sim, &files[..2]);
+
+        let a = gbd.register_tenant("a").unwrap();
+        let b = gbd.register_tenant("b").unwrap();
+        let q = Query::FccdClassify {
+            files: files.clone(),
+        };
+        // Tick 1: identical queries from two tenants coalesce onto one
+        // execution; both get the same answer.
+        let ta = a.submit(q.clone());
+        let tb = b.submit(q.clone());
+        let tick = gbd.serve(&mut sim);
+        assert_eq!(tick.queries, 2);
+        assert_eq!(tick.executed, 1);
+        assert_eq!(tick.coalesced, 1);
+        let ra = a.take(ta).expect("served");
+        let rb = b.take(tb).expect("served");
+        assert_eq!(ra.reply, rb.reply);
+        assert!(!ra.from_cache);
+
+        // Tick 2: the same query is a cache hit — no execution at all.
+        let ta2 = a.submit(q);
+        let tick = gbd.serve(&mut sim);
+        assert_eq!((tick.hits, tick.executed), (1, 0));
+        let ra2 = a.take(ta2).expect("served");
+        assert!(ra2.from_cache);
+        assert_eq!(ra2.reply, ra.reply);
+        assert_eq!(gbd.stats().hits, 1);
+        assert_eq!(gbd.stats().coalesced, 1);
+    }
+
+    #[test]
+    fn over_budget_queries_are_shed() {
+        let cfg = GbdConfig {
+            admission_budget: 1,
+            ..small_cfg()
+        };
+        let policy = cfg.ttl_policy();
+        let mut gbd = Gbd::new(cfg, Box::new(policy));
+        let mut sim = scenario::daemon_machine(2, 4);
+        let files = scenario::spread_corpus(&mut sim, 2, 2, 256 << 10);
+        let c = gbd.register_tenant("t").unwrap();
+        // Two *distinct* probe-needing queries, budget 1: second sheds.
+        let t0 = c.submit(Query::FccdClassify {
+            files: files[..2].to_vec(),
+        });
+        let t1 = c.submit(Query::FccdClassify {
+            files: files[2..].to_vec(),
+        });
+        let tick = gbd.serve(&mut sim);
+        assert_eq!((tick.executed, tick.shed), (1, 1));
+        assert!(matches!(
+            c.take(t0).expect("served").reply,
+            Reply::Classified { .. }
+        ));
+        assert_eq!(c.take(t1).expect("served").reply, Reply::Shed);
+        // FLDC needs no probes: it is served even at budget 0 pressure.
+        let t2 = c.submit(Query::FldcOrder {
+            dir: "/".to_string(),
+        });
+        gbd.serve(&mut sim);
+        assert!(matches!(
+            c.take(t2).expect("served").reply,
+            Reply::Layout { .. }
+        ));
+    }
+
+    #[test]
+    fn mac_queries_answer_and_allocs_pool() {
+        let cfg = small_cfg();
+        let policy = cfg.ttl_policy();
+        let mut gbd = Gbd::new(cfg, Box::new(policy));
+        let mut sim = scenario::daemon_machine(2, 2);
+        let c = gbd.register_tenant("t").unwrap();
+        let mb = 1u64 << 20;
+        let t0 = c.submit(Query::MacAvailable { ceiling: 16 * mb });
+        let t1 = c.submit(Query::GbAlloc {
+            min: mb,
+            max: 8 * mb,
+            multiple: mb,
+        });
+        let t2 = c.submit(Query::GbAlloc {
+            min: mb,
+            max: 8 * mb,
+            multiple: mb,
+        });
+        gbd.serve(&mut sim);
+        let Reply::Available { bytes } = c.take(t0).expect("served").reply else {
+            panic!("expected an estimate");
+        };
+        assert!(bytes > 0, "idle machine has memory available");
+        for t in [t1, t2] {
+            let Reply::Granted { bytes } = c.take(t).expect("served").reply else {
+                panic!("expected a grant");
+            };
+            assert!(bytes >= mb, "idle machine admits the minimum");
+        }
+    }
+}

@@ -30,6 +30,25 @@ pub struct FccdFleet {
     page_size: u64,
 }
 
+/// Submitted-but-unfolded probe plans from
+/// [`submit_files`](FccdFleet::submit_files): one `(handle, plan, path)`
+/// per file, in input order. Opaque so the fold stays the fleet's job.
+pub struct PendingFiles {
+    pending: Vec<(crate::PlanHandle, FccdFilePlan, String)>,
+}
+
+impl PendingFiles {
+    /// Number of files awaiting fold.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing was submitted.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
 impl FccdFleet {
     /// Creates a fleet detector over the given backend's geometry.
     ///
@@ -79,28 +98,34 @@ impl FccdFleet {
         (plan, probe)
     }
 
-    /// Ranks `files` by predicted access cost, fastest first, probing
-    /// through the scheduler.
+    /// Draws and submits one plan per file, without dispatching.
     ///
     /// Offsets are drawn per file in input order (one `draw_plan` each —
-    /// the same RNG consumption as ranking the files inline one by one),
-    /// then all plans are submitted and dispatched in waves. Files whose
-    /// worker failed to open them sort last with the small-file penalty,
-    /// exactly as in the inline path.
-    pub fn order_files<E: PlanExecutor>(
-        &self,
-        sched: &mut Scheduler,
-        exec: &mut E,
-        files: &[(String, u64)],
-    ) -> Vec<FileRank> {
+    /// the same RNG consumption as ranking the files inline one by one).
+    /// Callers that pool probes across independent queries — the `gbd`
+    /// daemon batches every tenant's FCCD misses into shared waves —
+    /// submit each query's files, dispatch the scheduler once, then fold
+    /// each query with [`fold_files`](FccdFleet::fold_files).
+    pub fn submit_files(&self, sched: &mut Scheduler, files: &[(String, u64)]) -> PendingFiles {
         let mut pending = Vec::with_capacity(files.len());
         for (path, size) in files {
             let (plan, probe) = self.plan_for(path, *size);
             let handle = sched.submit(probe);
             pending.push((handle, plan, path.clone()));
         }
-        sched.dispatch(exec);
-        let mut ranks: Vec<FileRank> = pending
+        PendingFiles { pending }
+    }
+
+    /// Folds dispatched probe results back into ranks, fastest first.
+    /// Files whose worker failed to open them sort last with the
+    /// small-file penalty, exactly as in the inline path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler has not dispatched the submitted plans.
+    pub fn fold_files(&self, sched: &mut Scheduler, submitted: PendingFiles) -> Vec<FileRank> {
+        let mut ranks: Vec<FileRank> = submitted
+            .pending
             .into_iter()
             .map(|(handle, plan, path)| {
                 let result = sched
@@ -116,6 +141,19 @@ impl FccdFleet {
             .collect();
         sort_ranks(&mut ranks);
         ranks
+    }
+
+    /// Ranks `files` by predicted access cost, fastest first, probing
+    /// through the scheduler: submit, dispatch, fold.
+    pub fn order_files<E: PlanExecutor>(
+        &self,
+        sched: &mut Scheduler,
+        exec: &mut E,
+        files: &[(String, u64)],
+    ) -> Vec<FileRank> {
+        let submitted = self.submit_files(sched, files);
+        sched.dispatch(exec);
+        self.fold_files(sched, submitted)
     }
 
     /// Splits `files` into predicted-cached and predicted-uncached groups

@@ -41,7 +41,7 @@ pub mod plan;
 
 pub use admission::{AdmissionRequest, AdmissionTicket, MacAdmissionQueue};
 pub use exec::{HostExecutor, InlineExecutor, PlanExecutor, SimExecutor, WaveOutcome};
-pub use fccd::FccdFleet;
+pub use fccd::{FccdFleet, PendingFiles};
 pub use plan::{execute_plan, PlanResult, ProbePlan};
 
 /// Completion handle for a submitted plan; redeem with [`Scheduler::take`].
@@ -264,6 +264,15 @@ impl Scheduler {
     /// Per-wave statistics for every wave dispatched so far.
     pub fn waves(&self) -> &[WaveStat] {
         &self.waves
+    }
+
+    /// Removes and returns the wave statistics accumulated since the last
+    /// call (or since construction). Long-running clients — the `gbd`
+    /// daemon couples its query-admission AIMD to the guard's verdicts —
+    /// read each wave exactly once this way without the stat vector
+    /// growing for the life of the scheduler.
+    pub fn take_waves(&mut self) -> Vec<WaveStat> {
+        std::mem::take(&mut self.waves)
     }
 }
 

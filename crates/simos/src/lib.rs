@@ -56,6 +56,7 @@ pub mod exec;
 pub mod fs;
 pub mod kernel;
 pub mod oracle;
+pub mod scenario;
 pub mod score;
 pub mod vm;
 

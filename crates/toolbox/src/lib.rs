@@ -26,6 +26,7 @@
 
 pub mod bench;
 pub mod cluster;
+pub mod mailbox;
 pub mod outlier;
 pub mod prop;
 pub mod repository;
@@ -36,6 +37,7 @@ pub mod time;
 pub mod trace;
 
 pub use cluster::{kmeans1d, two_means, Clustering};
+pub use mailbox::{Envelope, Mailbox, MailboxClient, Ticket};
 pub use outlier::{discard_outliers, mad, OutlierPolicy};
 pub use repository::{ParamRepository, RepositoryError};
 pub use sampling::{Reservoir, StreamingRegression};

@@ -48,6 +48,13 @@ pub mod keys {
     /// Probe-plan concurrency cap: the largest number of concurrent plans
     /// whose makespan still improved measurably over the next-lower level.
     pub const SCHED_CONCURRENCY_CAP: &str = "sched.concurrency_cap";
+    /// Daemon inference-cache entry time-to-live, ns of backend time.
+    pub const GBD_CACHE_TTL: &str = "gbd.cache_ttl";
+    /// Most tenants the daemon will register.
+    pub const GBD_MAX_TENANTS: &str = "gbd.max_tenants";
+    /// Most probe-needing queries the daemon admits per serve tick (the
+    /// AIMD recovery ceiling; the live budget moves below it).
+    pub const GBD_ADMISSION_BUDGET: &str = "gbd.admission_budget";
 }
 
 /// Errors produced by repository operations.

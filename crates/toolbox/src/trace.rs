@@ -19,7 +19,9 @@
 //! - [`TraceEvent::Estimated`] — an ICL published a scalar estimate
 //!   (e.g. MAC's available-memory figure), joinable against oracle truth;
 //! - [`TraceEvent::RepositoryMiss`] — a calibration key was read before
-//!   anything wrote it (the caller silently fell back to a default).
+//!   anything wrote it (the caller silently fell back to a default);
+//! - [`TraceEvent::CacheAccess`] — a service-side inference cache answered
+//!   (or declined to answer) a query: hit, miss, expired, churned.
 //!
 //! # Cost model
 //!
@@ -160,6 +162,13 @@ pub enum TraceEvent {
         /// The key that was missing.
         key: String,
     },
+    /// A service-side inference cache was consulted.
+    CacheAccess {
+        /// The cache key (a query fingerprint).
+        key: String,
+        /// What happened: `hit`, `miss`, `expired`, `churned`, `reinfer`.
+        outcome: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -174,6 +183,7 @@ impl TraceEvent {
             TraceEvent::AdmissionDecision { .. } => "AdmissionDecision",
             TraceEvent::Estimated { .. } => "Estimated",
             TraceEvent::RepositoryMiss { .. } => "RepositoryMiss",
+            TraceEvent::CacheAccess { .. } => "CacheAccess",
         }
     }
 
@@ -226,6 +236,9 @@ impl TraceEvent {
                 json_f64(*value)
             ),
             TraceEvent::RepositoryMiss { key } => format!("\"key\":{}", json_string(key)),
+            TraceEvent::CacheAccess { key, outcome } => {
+                format!("\"key\":{},\"outcome\":\"{outcome}\"", json_string(key))
+            }
         }
     }
 }
@@ -375,6 +388,33 @@ fn lane_id() -> u64 {
         }
         c.get()
     })
+}
+
+/// Reserves a fresh lane id without binding it to any thread. Services
+/// that multiplex many logical clients over one thread (the `gbd` daemon
+/// serving its tenants) allocate one lane per client and switch the
+/// emitting thread onto it with [`lane_scope`].
+pub fn allocate_lane() -> u64 {
+    NEXT_LANE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Overrides this thread's lane id until the guard drops, then restores
+/// the previous binding. Records emitted inside the scope carry `lane` —
+/// this is how per-tenant telemetry falls out of a single daemon thread.
+pub fn lane_scope(lane: u64) -> LaneGuard {
+    let prev = LANE.with(|c| c.replace(lane));
+    LaneGuard { prev }
+}
+
+/// Guard returned by [`lane_scope`]; restores the previous lane on drop.
+pub struct LaneGuard {
+    prev: u64,
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        LANE.with(|c| c.set(self.prev));
+    }
 }
 
 /// Whether tracing is currently enabled. One relaxed atomic load — this
@@ -829,6 +869,53 @@ mod tests {
         let recs: Vec<TraceRecord> = drain().into_iter().filter(|r| r.lane == lane).collect();
         assert_eq!(recs[0].span, "wave:7/plan:/f1");
         assert_eq!(recs[1].span, "", "span popped after guard drop");
+    }
+
+    #[test]
+    fn lane_scope_overrides_and_restores() {
+        let guard = capture();
+        let thread_lane = guard.lane();
+        let tenant = allocate_lane();
+        assert_ne!(tenant, thread_lane);
+        {
+            let _scope = lane_scope(tenant);
+            emit_with(|| TraceEvent::CacheAccess {
+                key: "fccd:/a".to_string(),
+                outcome: "hit",
+            });
+        }
+        emit_with(|| TraceEvent::CacheAccess {
+            key: "fccd:/a".to_string(),
+            outcome: "miss",
+        });
+        let recs: Vec<TraceRecord> = drain()
+            .into_iter()
+            .filter(|r| matches!(r.event, TraceEvent::CacheAccess { .. }))
+            .filter(|r| r.lane == tenant || r.lane == thread_lane)
+            .collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].lane, tenant, "scoped record on the tenant lane");
+        assert_eq!(recs[1].lane, thread_lane, "lane restored after drop");
+    }
+
+    #[test]
+    fn cache_access_serializes() {
+        let rec = TraceRecord {
+            seq: 0,
+            ts: Nanos(7),
+            wave: None,
+            span: String::new(),
+            lane: 3,
+            event: TraceEvent::CacheAccess {
+                key: "mac.available:1024".to_string(),
+                outcome: "expired",
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"seq\":0,\"ts_ns\":7,\"lane\":3,\"type\":\"CacheAccess\",\
+             \"key\":\"mac.available:1024\",\"outcome\":\"expired\"}"
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   parameter repository);
 //! - [`sched`] — the shared probe-scheduler runtime that fans ICL probe
 //!   plans out across processes;
+//! - [`gbd`] — the long-running multi-tenant inference daemon that serves
+//!   FCCD/MAC/FLDC queries from a shared cache over one scheduler;
 //! - [`simos`] — the deterministic simulated OS substrate;
 //! - [`hostos`] — the real-OS backend over `std`;
 //! - [`apps`] — grep, fastsort, gbp, and the scan workloads;
@@ -22,6 +24,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use gbd;
 pub use gray_apps as apps;
 pub use gray_sched as sched;
 pub use gray_toolbox as toolbox;
@@ -41,6 +44,7 @@ mod tests {
         let _ = crate::toolbox::OnlineStats::new();
         let _ = crate::graybox::fccd::FccdParams::default();
         let _ = crate::sched::SchedConfig::default();
+        let _ = crate::gbd::GbdConfig::default();
         let _ = crate::simos::SimConfig::small();
         assert!(crate::PAPER.contains("SOSP 2001"));
     }
