@@ -1,0 +1,5 @@
+//! `cargo bench --bench fleet` — see `gray_bench::suites::fleet`.
+
+fn main() {
+    gray_bench::suites::run_standalone(gray_bench::suites::fleet::register);
+}

@@ -1,10 +1,10 @@
 //! The benchmark runner: sweeps every suite and persists a baseline file.
 //!
 //! ```text
-//! cargo run --release -p gray-bench --bin bench              # full run → BENCH_PR6.json
+//! cargo run --release -p gray-bench --bin bench              # full run → BENCH_PR7.json
 //! cargo run --release -p gray-bench --bin bench -- --smoke   # 1 warmup + 1 iter each → BENCH_SMOKE.json
 //! cargo run --release -p gray-bench --bin bench -- fccd      # substring filter, as with cargo bench
-//! cargo run --release -p gray-bench --bin bench -- --diff BENCH_PR5.json BENCH_PR6.json
+//! cargo run --release -p gray-bench --bin bench -- --diff BENCH_PR6.json BENCH_PR7.json
 //! cargo run --release -p gray-bench --bin bench -- --diff --strict old.json new.json  # exit 1 on regression
 //! ```
 //!
@@ -32,7 +32,7 @@ use gray_toolbox::bench::Harness;
 use std::time::Duration;
 
 /// Baseline file for full runs (committed at the repo root).
-const BASELINE: &str = "BENCH_PR6.json";
+const BASELINE: &str = "BENCH_PR7.json";
 /// Output for smoke runs (existence proof only, never committed).
 const SMOKE_OUT: &str = "BENCH_SMOKE.json";
 /// Mean-time ratio above which `--diff` flags a benchmark as regressed.
@@ -140,6 +140,29 @@ fn main() {
         d.tenants, d.queries, d.hit_rate, d.admitted, d.shed, d.reinfers, d.virtual_ns_per_query
     );
     headlines.push_str(&format!(",\n  \"gbd\": {{{}}}", d.json_fields()));
+    // The executor fleet headline: host wall-clock of a 512-process FCCD
+    // fleet under both backends (informational — host time), plus the
+    // deterministic virtual makespan and the bit-identity flag, which
+    // `--diff --strict` gates. Each backend is timed exactly once; the
+    // threads run at fleet scale is precisely the cost this headline
+    // exists to document, so it never goes through the iterating harness.
+    let f = suites::fleet::run();
+    println!(
+        "exec fleet: {} procs, events {:.1} ms vs threads {:.1} ms (host) → {:.2}x, \
+         identical {}, makespan {} virtual ns; xl {} procs events-only {:.1} ms",
+        f.procs,
+        f.events_host_ns as f64 / 1e6,
+        f.threads_host_ns as f64 / 1e6,
+        f.host_speedup,
+        f.identical,
+        f.virtual_ns,
+        f.xl_procs,
+        f.xl_events_host_ns as f64 / 1e6
+    );
+    headlines.push_str(&format!(
+        ",\n  \"exec_fleet_speedup\": {{{}}}",
+        f.json_fields()
+    ));
 
     let json = format!(
         "{{\n  \"schema\": \"gray-bench-baseline/v1\",\n  \"smoke\": {smoke},\n{}{headlines}\n}}\n",
@@ -200,7 +223,8 @@ fn diff(old_path: &str, new_path: &str) -> i32 {
     }
     let hard = diff_accuracy(old_path, new_path)
         + diff_virtual(old_path, new_path)
-        + diff_gbd(old_path, new_path);
+        + diff_gbd(old_path, new_path)
+        + diff_fleet(old_path, new_path);
     println!(
         "{compared} compared: {regressed} host-time slower (informational), \
          {hard} deterministic regressions"
@@ -326,6 +350,56 @@ fn diff_gbd(old_path: &str, new_path: &str) -> usize {
         } else if new_v < old_v * 0.9 {
             println!("  improved  gbd.virtual_ns_per_query: {old_v:.0} → {new_v:.0}");
         }
+    }
+    regressed
+}
+
+/// Compares the executor fleet headline. Two of its fields are
+/// deterministic and therefore gated: the bit-identity flag (`false` in
+/// the new baseline is always a hard regression — the backends diverged)
+/// and the virtual-time fleet makespan (same 10% relative slack as the
+/// other virtual headlines, forgiving intentional scenario re-tuning).
+/// The host wall-clock columns and their speedup are informational only,
+/// like every other host-time number in the diff.
+fn diff_fleet(old_path: &str, new_path: &str) -> usize {
+    let read = |path: &str| -> Option<String> {
+        let text = std::fs::read_to_string(path).ok()?;
+        // `"xl_virtual_ns":` appears only in this headline's line.
+        text.lines()
+            .find(|l| l.contains("\"xl_virtual_ns\":"))
+            .map(str::to_string)
+    };
+    let Some(new_line) = read(new_path) else {
+        if read(old_path).is_some() {
+            println!("  removed   exec fleet headline");
+        }
+        return 0;
+    };
+    let mut regressed = 0usize;
+    if new_line.contains("\"identical\":false") {
+        regressed += 1;
+        println!("  REGRESSED exec_fleet_speedup.identical: backends diverged");
+    }
+    let Some(old_line) = read(old_path) else {
+        println!("  new       exec fleet headline");
+        return regressed;
+    };
+    if let (Some(old_v), Some(new_v)) = (
+        field_num(&old_line, "virtual_ns"),
+        field_num(&new_line, "virtual_ns"),
+    ) {
+        if new_v > old_v * 1.1 {
+            regressed += 1;
+            println!("  REGRESSED exec_fleet.virtual_ns: {old_v:.0} → {new_v:.0}");
+        } else if new_v < old_v * 0.9 {
+            println!("  improved  exec_fleet.virtual_ns: {old_v:.0} → {new_v:.0}");
+        }
+    }
+    if let (Some(old_v), Some(new_v)) = (
+        field_num(&old_line, "host_speedup"),
+        field_num(&new_line, "host_speedup"),
+    ) {
+        println!("  info      exec_fleet.host_speedup: {old_v:.2}x → {new_v:.2}x (informational)");
     }
     regressed
 }

@@ -7,6 +7,7 @@ pub mod ablations;
 pub mod accuracy;
 pub mod daemon;
 pub mod figures;
+pub mod fleet;
 pub mod icl;
 pub mod sched;
 pub mod substrate;
@@ -19,7 +20,7 @@ use std::time::Duration;
 pub type Register = fn(&mut Harness);
 
 /// All suites, in baseline-file order: `(target name, register fn)`.
-pub const ALL: [(&str, Register); 7] = [
+pub const ALL: [(&str, Register); 8] = [
     ("toolbox", toolbox::register),
     ("substrate", substrate::register),
     ("icl", icl::register),
@@ -27,6 +28,7 @@ pub const ALL: [(&str, Register); 7] = [
     ("ablations", ablations::register),
     ("sched", sched::register),
     ("daemon", daemon::register),
+    ("fleet", fleet::register),
 ];
 
 /// Runs one suite standalone with the `cargo bench` timing budget — the

@@ -67,6 +67,12 @@ pub trait StalenessPolicy: std::fmt::Debug + Send {
 }
 
 /// Serve every entry until its TTL elapses, churn or no churn.
+///
+/// The TTL boundary is **inclusive**: an entry is servable through
+/// `age == ttl` exactly and expires at `age == ttl + 1` nanoseconds.
+/// An entry stamped *after* `now` (clock skew across tenant lanes) is
+/// treated as stale outright — the old saturating age arithmetic pinned
+/// such an entry's age at zero, making it immortal.
 #[derive(Debug, Clone, Copy)]
 pub struct TtlOnly {
     /// Entry lifetime in virtual time.
@@ -79,7 +85,12 @@ impl StalenessPolicy for TtlOnly {
     }
 
     fn disposition(&self, entry: &CacheEntry, now: Nanos) -> Disposition {
-        if now.0.saturating_sub(entry.stored_at.0) > self.ttl.as_nanos() {
+        if entry.stored_at.0 > now.0 {
+            // Stored "in the future": the stamp can't be trusted, and a
+            // saturated age of zero must not grant eternal freshness.
+            return Disposition::Expired;
+        }
+        if now.0 - entry.stored_at.0 > self.ttl.as_nanos() {
             Disposition::Expired
         } else {
             Disposition::Fresh
@@ -222,6 +233,48 @@ mod tests {
         // One nanosecond past the TTL the entry is gone.
         assert_eq!(cache.lookup("k", Nanos(1101), &policy), Lookup::Expired);
         assert_eq!(cache.lookup("k", Nanos(1101), &policy), Lookup::Miss);
+    }
+
+    #[test]
+    fn ttl_boundary_is_inclusive() {
+        let policy = TtlOnly {
+            ttl: GrayDuration::from_nanos(100),
+        };
+        let e = entry(1000, &[]);
+        // Servable through age == ttl exactly …
+        assert_eq!(policy.disposition(&e, Nanos(1000)), Disposition::Fresh);
+        assert_eq!(policy.disposition(&e, Nanos(1100)), Disposition::Fresh);
+        // … and expired one nanosecond later.
+        assert_eq!(policy.disposition(&e, Nanos(1101)), Disposition::Expired);
+    }
+
+    #[test]
+    fn future_stored_entry_is_stale_not_immortal() {
+        // Regression: `saturating_sub` pinned a future-stamped entry's
+        // age at zero, so it could never expire — it outlived every
+        // legitimate entry in the cache.
+        let policy = TtlOnly {
+            ttl: GrayDuration::from_nanos(100),
+        };
+        let mut cache = InferenceCache::new();
+        cache.insert("skewed".to_string(), entry(5000, &[]));
+        assert_eq!(
+            policy.disposition(&entry(5000, &[]), Nanos(4999)),
+            Disposition::Expired
+        );
+        assert_eq!(
+            cache.lookup("skewed", Nanos(4999), &policy),
+            Lookup::Expired
+        );
+        assert_eq!(cache.lookup("skewed", Nanos(4999), &policy), Lookup::Miss);
+        // ChurnAware delegates its TTL half to TtlOnly and inherits the fix.
+        let churn = ChurnAware {
+            ttl: GrayDuration::from_nanos(100),
+        };
+        assert_eq!(
+            churn.disposition(&entry(5000, &[]), Nanos(4999)),
+            Disposition::Expired
+        );
     }
 
     #[test]

@@ -103,7 +103,12 @@ impl PlanExecutor for SimExecutor<'_> {
                 (name, w)
             })
             .collect();
-        let results = self.sim.run(workloads);
+        // A dead plan process is a bug in the plan or the ICL under it;
+        // surface pid + plan path instead of a bare unwrap.
+        let results = self
+            .sim
+            .try_run(workloads)
+            .unwrap_or_else(|p| panic!("probe plan process died: {p}"));
         let span = self.sim.now().since(t0);
         WaveOutcome {
             results,

@@ -184,6 +184,59 @@ pub enum LayoutPolicy {
     Lfs,
 }
 
+/// Which executor backend drives multiprogrammed [`crate::Sim::run`]
+/// calls. Both produce **bit-identical** virtual time: scheduling
+/// decisions depend only on virtual clocks and pids, and the yield
+/// points are the same (`tests/exec_equivalence.rs` pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// One event loop, one OS thread: each simulated process is a
+    /// resumable coroutine and the driver always resumes the
+    /// minimum-virtual-time runnable one. Scales to thousands of
+    /// processes; the default.
+    #[default]
+    Events,
+    /// One OS thread per simulated process with condvar baton passing —
+    /// the original executor, retained for one release as the
+    /// equivalence baseline. Practical up to tens of processes.
+    Threads,
+}
+
+impl ExecBackend {
+    /// Backend name as used by the `SIMOS_EXEC` environment variable.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecBackend::Events => "events",
+            ExecBackend::Threads => "threads",
+        }
+    }
+
+    /// Reads `SIMOS_EXEC` (`events` or `threads`); `None` when unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is set to an unrecognized value — a silent
+    /// fallback would make an equivalence CI matrix vacuous.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("SIMOS_EXEC") {
+            Ok(v) if v == "events" => Some(ExecBackend::Events),
+            Ok(v) if v == "threads" => Some(ExecBackend::Threads),
+            Ok(v) => panic!("SIMOS_EXEC must be `events` or `threads`, got `{v}`"),
+            Err(_) => None,
+        }
+    }
+
+    /// The default for fresh configurations: `SIMOS_EXEC` if set (so a
+    /// CI matrix can steer a whole test run), otherwise [`Events`].
+    /// Explicit `cfg.exec = …` assignments always win over the
+    /// environment because they happen after construction.
+    ///
+    /// [`Events`]: ExecBackend::Events
+    pub fn env_default() -> Self {
+        Self::from_env().unwrap_or_default()
+    }
+}
+
 /// File-system layout parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FsParams {
@@ -241,6 +294,13 @@ pub struct SimConfig {
     pub readahead_pages: u64,
     /// Master RNG seed (noise, procedural content).
     pub seed: u64,
+    /// Executor backend for multiprogrammed runs (virtual time is
+    /// bit-identical either way; see [`ExecBackend`]).
+    pub exec: ExecBackend,
+    /// Stack size per simulated process under the events backend.
+    /// Heap-allocated and lazily committed by the host, so a generous
+    /// default costs little real memory.
+    pub coro_stack_bytes: usize,
 }
 
 impl SimConfig {
@@ -260,6 +320,8 @@ impl SimConfig {
             fs: FsParams::default(),
             readahead_pages: 32,
             seed: 0xA5A5_5A5A,
+            exec: ExecBackend::env_default(),
+            coro_stack_bytes: 512 << 10,
         }
     }
 
@@ -279,6 +341,8 @@ impl SimConfig {
             fs: FsParams::default(),
             readahead_pages: 32,
             seed: 0xA5A5_5A5A,
+            exec: ExecBackend::env_default(),
+            coro_stack_bytes: 512 << 10,
         }
     }
 
@@ -304,6 +368,14 @@ impl SimConfig {
     /// (builder style).
     pub fn with_lfs(mut self) -> Self {
         self.fs.layout = LayoutPolicy::Lfs;
+        self
+    }
+
+    /// Pins the executor backend, overriding `SIMOS_EXEC` (builder
+    /// style). Equivalence tests use this to run both backends in one
+    /// process regardless of the environment.
+    pub fn with_exec(mut self, exec: ExecBackend) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -382,6 +454,18 @@ mod tests {
     fn bad_swap_disk_panics() {
         let mut cfg = SimConfig::small();
         cfg.swap_disk = 9;
+        cfg.validate();
+    }
+
+    #[test]
+    fn exec_backend_defaults_and_builder() {
+        // Never sets SIMOS_EXEC (tests share a process); only the
+        // explicit paths are exercised here.
+        assert_eq!(ExecBackend::default(), ExecBackend::Events);
+        assert_eq!(ExecBackend::Events.name(), "events");
+        assert_eq!(ExecBackend::Threads.name(), "threads");
+        let cfg = SimConfig::small().with_exec(ExecBackend::Threads);
+        assert_eq!(cfg.exec, ExecBackend::Threads);
         cfg.validate();
     }
 

@@ -1,28 +1,88 @@
 //! The deterministic process executor.
 //!
-//! Each simulated process runs on a real OS thread, but **exactly one
-//! thread runs at a time**: every syscall atomically (a) mutates kernel
-//! state at the process's local virtual time and (b) hands the baton to the
-//! runnable process with the *smallest* local time. Running the minimum-
-//! time process first makes state mutations apply in causal order — a
-//! conservative sequential discrete-event simulation with threads providing
-//! the control flow, so workload code is ordinary imperative Rust.
+//! Exactly one simulated process runs at a time: every syscall atomically
+//! (a) mutates kernel state at the process's local virtual time and (b)
+//! yields if some other runnable process now has the *smallest* local
+//! time. Running the minimum-time process first makes state mutations
+//! apply in causal order — a conservative sequential discrete-event
+//! simulation in which workload code is ordinary imperative Rust.
 //!
-//! Determinism: scheduling decisions depend only on virtual times and pids,
-//! never on host timing, so a simulation with a fixed seed replays
+//! Two backends provide the control flow ([`ExecBackend`]):
+//!
+//! - **Events** (default): every process is a stackful coroutine
+//!   ([`crate::coro`]) and one driver loop resumes the minimum-time
+//!   runnable one. One OS thread total, so fleets of thousands of
+//!   processes are affordable.
+//! - **Threads**: every process is a real OS thread and a condvar passes
+//!   the baton. The original executor, kept for one release as the
+//!   equivalence baseline.
+//!
+//! Both backends ask [`Kernel::next_runnable`] the same question at the
+//! same points, so the kernel call sequence — and with it every charged
+//! duration, noise draw, and final clock — is **bit-identical** between
+//! them (`tests/exec_equivalence.rs` pins this).
+//!
+//! Determinism: scheduling decisions depend only on virtual times and
+//! pids, never on host timing, so a simulation with a fixed seed replays
 //! identically.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
+use gray_toolbox::trace;
 use gray_toolbox::{GrayDuration, Nanos};
 use graybox::os::{Fd, GrayBoxOs, MemRegion, OsResult, ProbeSample, ProbeSpec, Stat};
 
-use crate::config::SimConfig;
+use crate::config::{ExecBackend, SimConfig};
+use crate::coro;
 use crate::kernel::Kernel;
 use crate::oracle::Oracle;
 
 /// A workload closure run as one simulated process.
 pub type Workload<'env, R> = Box<dyn FnOnce(&SimProc) -> R + Send + 'env>;
+
+/// What a finished process left behind: its result, or the payload of
+/// the panic that killed it.
+type Outcome<R> = Result<R, Box<dyn Any + Send + 'static>>;
+
+/// A simulated process died by panic. Carries enough to name the culprit
+/// — the old behavior was a second, uninformative `expect` panic on the
+/// empty result slot.
+#[derive(Debug)]
+pub struct ProcPanic {
+    /// Pid of the panicking process. When several processes panic in one
+    /// run, the smallest pid is reported (deterministic in both
+    /// backends).
+    pub pid: usize,
+    /// The workload name passed to [`Sim::run`].
+    pub name: String,
+    /// The panic payload rendered to text (`&str`/`String` payloads
+    /// verbatim, anything else a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for ProcPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulated process {} (\"{}\") panicked: {}",
+            self.pid, self.name, self.message
+        )
+    }
+}
+
+impl std::error::Error for ProcPanic {}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 #[derive(Debug)]
 struct Sched {
@@ -57,19 +117,30 @@ impl SharedHandle {
 
 /// A simulation instance: one kernel plus the machinery to run processes
 /// against it. Construct with [`Sim::new`], run workloads with
-/// [`Sim::run_one`] (single process, zero thread overhead) or
-/// [`Sim::run`] (multiprogramming), and inspect ground truth with
-/// [`Sim::oracle`].
+/// [`Sim::run_one`] (single process, zero scheduling overhead) or
+/// [`Sim::run`]/[`Sim::try_run`] (multiprogramming), and inspect ground
+/// truth with [`Sim::oracle`].
 ///
 /// Kernel state (caches, file systems, clocks) **persists across runs**, so
 /// warm-cache experiments are expressed as consecutive `run_one` calls.
 pub struct Sim {
     shared: Arc<SharedHandle>,
+    backend: ExecBackend,
+    stack_bytes: usize,
 }
 
 impl Sim {
-    /// Boots a simulation from a configuration.
+    /// Boots a simulation from a configuration. If the configuration
+    /// asks for the events backend on an architecture without a context
+    /// switch, the thread backend is substituted (semantics are
+    /// identical, only scalability differs).
     pub fn new(cfg: SimConfig) -> Self {
+        let backend = if cfg.exec == ExecBackend::Events && !coro::SUPPORTED {
+            ExecBackend::Threads
+        } else {
+            cfg.exec
+        };
+        let stack_bytes = cfg.coro_stack_bytes;
         Sim {
             shared: Arc::new(SharedHandle {
                 m: Mutex::new(State {
@@ -81,12 +152,21 @@ impl Sim {
                 }),
                 cv: Condvar::new(),
             }),
+            backend,
+            stack_bytes,
         }
     }
 
-    /// Runs a single process on the calling thread (no thread spawn, no
-    /// baton passing) and returns its result. The process starts at the
-    /// latest virtual time any previous process reached.
+    /// The executor backend actually in use (after any architecture
+    /// fallback).
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
+    }
+
+    /// Runs a single process on the calling thread (no coroutine, no
+    /// thread spawn, no baton passing) and returns its result. The
+    /// process starts at the latest virtual time any previous process
+    /// reached.
     pub fn run_one<R>(&mut self, f: impl FnOnce(&SimProc) -> R) -> R {
         let pid = {
             let mut st = self.shared.lock();
@@ -99,6 +179,7 @@ impl Sim {
         let proc_handle = SimProc {
             shared: Arc::clone(&self.shared),
             pid,
+            yielder: None,
         };
         let r = f(&proc_handle);
         let mut st = self.shared.lock();
@@ -110,35 +191,87 @@ impl Sim {
     /// Runs a set of processes concurrently (in virtual time) and returns
     /// their results in input order. All processes start at the same
     /// instant.
+    ///
+    /// # Panics
+    ///
+    /// If any process panics, panics with the [`ProcPanic`] rendering
+    /// (pid, workload name, original message) after every sibling has
+    /// run to completion. Use [`Sim::try_run`] to handle it as a value.
     pub fn run<'env, R: Send + 'env>(
         &mut self,
         workloads: Vec<(String, Workload<'env, R>)>,
     ) -> Vec<R> {
-        if workloads.is_empty() {
-            return Vec::new();
+        match self.try_run(workloads) {
+            Ok(results) => results,
+            Err(p) => panic!("{p}"),
         }
-        let pids: Vec<usize> = {
-            let mut st = self.shared.lock();
-            let start = st.kernel.max_time();
-            let pids: Vec<usize> = workloads
-                .iter()
-                .map(|_| st.kernel.add_proc(start))
-                .collect();
-            st.sched.active = pids.clone();
-            st.sched.running = pids[0];
-            pids
+    }
+
+    /// Like [`Sim::run`], but a panicking process becomes a structured
+    /// [`ProcPanic`] error instead of a panic. Surviving siblings still
+    /// run to completion (their results are discarded on error); kernel
+    /// state remains consistent and the `Sim` stays usable.
+    pub fn try_run<'env, R: Send + 'env>(
+        &mut self,
+        workloads: Vec<(String, Workload<'env, R>)>,
+    ) -> Result<Vec<R>, ProcPanic> {
+        if workloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let names: Vec<String> = workloads.iter().map(|(name, _)| name.clone()).collect();
+        let (pids, outcomes) = match self.backend {
+            ExecBackend::Threads => self.run_threads(workloads),
+            ExecBackend::Events => self.run_events(workloads),
         };
-        let results: Vec<Mutex<Option<R>>> = workloads.iter().map(|_| Mutex::new(None)).collect();
+        let mut results = Vec::with_capacity(outcomes.len());
+        for ((outcome, &pid), name) in outcomes.into_iter().zip(&pids).zip(names) {
+            match outcome {
+                Ok(r) => results.push(r),
+                // Pids ascend in input order, so the first error is the
+                // smallest panicking pid — the same one either backend
+                // would report.
+                Err(payload) => {
+                    return Err(ProcPanic {
+                        pid,
+                        name,
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// Registers one kernel process per workload, all starting at the
+    /// current maximum virtual time, and installs them as the active set.
+    fn register_procs(&mut self, n: usize) -> Vec<usize> {
+        let mut st = self.shared.lock();
+        let start = st.kernel.max_time();
+        let pids: Vec<usize> = (0..n).map(|_| st.kernel.add_proc(start)).collect();
+        st.sched.active = pids.clone();
+        st.sched.running = pids[0];
+        pids
+    }
+
+    /// Thread backend: one OS thread per process, condvar baton passing.
+    fn run_threads<'env, R: Send + 'env>(
+        &mut self,
+        workloads: Vec<(String, Workload<'env, R>)>,
+    ) -> (Vec<usize>, Vec<Outcome<R>>) {
+        let pids = self.register_procs(workloads.len());
+        let slots: Vec<Mutex<Option<Outcome<R>>>> =
+            workloads.iter().map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
             for ((_name, workload), (&pid, slot)) in
-                workloads.into_iter().zip(pids.iter().zip(results.iter()))
+                workloads.into_iter().zip(pids.iter().zip(slots.iter()))
             {
                 let shared = Arc::clone(&self.shared);
                 scope.spawn(move || {
                     let proc_handle = SimProc {
                         shared: Arc::clone(&shared),
                         pid,
+                        yielder: None,
                     };
                     // Wait for the baton before the first instruction.
                     {
@@ -153,20 +286,99 @@ impl Sim {
                         shared: &shared,
                         pid,
                     };
-                    let r = workload(&proc_handle);
-                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| workload(&proc_handle)));
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
                 });
             }
         });
 
-        results
+        let outcomes = slots
             .into_iter()
             .map(|m| {
                 m.into_inner()
                     .unwrap_or_else(|e| e.into_inner())
-                    .expect("workload completed")
+                    .expect("process ran to completion")
             })
-            .collect()
+            .collect();
+        (pids, outcomes)
+    }
+
+    /// Events backend: every process is a coroutine; this (single)
+    /// thread's loop always resumes the minimum-virtual-time runnable
+    /// one — the moral equivalent of the baton, without the threads.
+    fn run_events<'env, R: Send + 'env>(
+        &mut self,
+        workloads: Vec<(String, Workload<'env, R>)>,
+    ) -> (Vec<usize>, Vec<Outcome<R>>) {
+        let pids = self.register_procs(workloads.len());
+        let base = pids[0];
+        let stack_bytes = self.stack_bytes;
+        let slots: Vec<Mutex<Option<Outcome<R>>>> =
+            workloads.iter().map(|_| Mutex::new(None)).collect();
+        {
+            // Each process gets its own trace identity (open spans +
+            // lane), swapped in around every resume: all coroutines share
+            // this one driver thread, and without the swap a span opened
+            // by one process would attach to records of the next.
+            let mut trace_ctxs: Vec<trace::TraceCtx> =
+                workloads.iter().map(|_| trace::TraceCtx::new()).collect();
+            let mut coros: Vec<coro::Coro<'_>> = workloads
+                .into_iter()
+                .zip(pids.iter().zip(slots.iter()))
+                .map(|((_name, workload), (&pid, slot))| {
+                    let shared = Arc::clone(&self.shared);
+                    coro::Coro::new(
+                        stack_bytes,
+                        Box::new(move |core| {
+                            let proc_handle = SimProc {
+                                shared: Arc::clone(&shared),
+                                pid,
+                                yielder: Some(core),
+                            };
+                            let outcome = catch_unwind(AssertUnwindSafe(|| workload(&proc_handle)));
+                            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                            // Mirror ProcFinisher: retire the process so
+                            // the driver's next_runnable moves past it,
+                            // panic or no panic.
+                            let mut st = shared.lock();
+                            st.kernel.finish_proc(pid);
+                            st.sched.active.retain(|&p| p != pid);
+                        }),
+                    )
+                })
+                .collect();
+
+            loop {
+                let next = {
+                    let mut st = self.shared.lock();
+                    match choose_next(&st) {
+                        Some(pid) => {
+                            st.sched.running = pid;
+                            pid
+                        }
+                        None => break,
+                    }
+                };
+                // Pids from add_proc are dense and consecutive.
+                let idx = next - base;
+                trace::swap_ctx(&mut trace_ctxs[idx]);
+                coros[idx].resume();
+                trace::swap_ctx(&mut trace_ctxs[idx]);
+            }
+            let mut st = self.shared.lock();
+            st.sched.running = usize::MAX;
+            st.sched.active.clear();
+        }
+
+        let outcomes = slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("process ran to completion")
+            })
+            .collect();
+        (pids, outcomes)
     }
 
     /// Ground-truth inspection (never available to ICL code).
@@ -186,7 +398,9 @@ impl Sim {
     }
 }
 
-/// Marks a process finished and passes the baton onward, even on panic.
+/// Marks a process finished and passes the baton onward, even on panic
+/// (thread backend only; the events driver re-derives the baton from
+/// `next_runnable` on every iteration).
 struct ProcFinisher<'a> {
     shared: &'a SharedHandle,
     pid: usize,
@@ -207,14 +421,10 @@ impl Drop for ProcFinisher<'_> {
     }
 }
 
-/// The runnable process with the smallest (local time, pid).
+/// The runnable process with the smallest (local time, pid) — one
+/// definition shared by both backends, deferred to the kernel.
 fn choose_next(st: &State) -> Option<usize> {
-    st.sched
-        .active
-        .iter()
-        .copied()
-        .filter(|&p| st.kernel.proc_live(p))
-        .min_by_key(|&p| (st.kernel.proc_time(p), p))
+    st.kernel.next_runnable(&st.sched.active)
 }
 
 /// A process's handle to the simulated kernel; implements the full
@@ -222,6 +432,9 @@ fn choose_next(st: &State) -> Option<usize> {
 pub struct SimProc {
     shared: Arc<SharedHandle>,
     pid: usize,
+    /// Under the events backend, the coroutine to suspend when this
+    /// process must wait; `None` under threads and `run_one`.
+    yielder: Option<*mut coro::YieldCore>,
 }
 
 impl SimProc {
@@ -230,8 +443,11 @@ impl SimProc {
         self.pid
     }
 
-    /// Runs one kernel operation, then yields the baton if another process
-    /// now has the smallest local time.
+    /// Runs one kernel operation, then yields if another process now has
+    /// the smallest local time — by suspending this coroutine (events)
+    /// or handing the condvar baton over and blocking (threads). The
+    /// yield *decision* is identical in both backends; only the
+    /// mechanism differs.
     fn call<R>(&self, f: impl FnOnce(&mut Kernel, usize) -> R) -> R {
         let mut st = self.shared.lock();
         debug_assert_eq!(
@@ -241,10 +457,23 @@ impl SimProc {
         let r = f(&mut st.kernel, self.pid);
         if let Some(next) = choose_next(&st) {
             if next != self.pid {
-                st.sched.running = next;
-                self.shared.cv.notify_all();
-                while st.sched.running != self.pid {
-                    st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                match self.yielder {
+                    Some(core) => {
+                        // The driver loop (same OS thread) re-locks the
+                        // state, so the guard must drop before switching.
+                        drop(st);
+                        // SAFETY: `core` is this process's own coroutine
+                        // state; the driver that resumed us is suspended
+                        // in `resume` awaiting exactly this switch.
+                        unsafe { coro::yield_to_driver(core) };
+                    }
+                    None => {
+                        st.sched.running = next;
+                        self.shared.cv.notify_all();
+                        while st.sched.running != self.pid {
+                            st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                        }
+                    }
                 }
             }
         }
@@ -346,8 +575,8 @@ impl GrayBoxOs for SimProc {
     }
 
     /// The whole batch runs under one kernel lock acquisition, and the
-    /// scheduler baton is considered for handoff once per batch (at the end
-    /// of `call`) rather than three times per probe. Virtual time is
+    /// scheduler is consulted for a yield once per batch (at the end of
+    /// `call`) rather than three times per probe. Virtual time is
     /// unaffected — the kernel replays the exact scalar charging sequence
     /// per probe — so only host-side dispatch overhead is saved.
     fn probe_batch(&self, fd: Fd, specs: &[ProbeSpec]) -> Vec<ProbeSample> {
@@ -502,5 +731,113 @@ mod tests {
             ("z".to_string(), Box::new(|_os: &SimProc| 3usize)),
         ]);
         assert_eq!(r, vec![1, 2, 3]);
+    }
+
+    fn contention_workloads() -> Vec<(String, Workload<'static, u64>)> {
+        ["a", "b", "c"]
+            .iter()
+            .map(|name| {
+                let path = format!("/{name}");
+                let wl: Workload<'static, u64> = Box::new(move |os: &SimProc| {
+                    os.write_file(&path, &[7u8; 20_000]).unwrap();
+                    os.compute(GrayDuration::from_micros(300));
+                    os.read_to_vec(&path).unwrap();
+                    os.now().as_nanos()
+                });
+                (name.to_string(), wl)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backends_agree_on_virtual_time() {
+        let run = |exec: ExecBackend| {
+            let mut sim = Sim::new(SimConfig::small().with_exec(exec));
+            assert_eq!(sim.backend(), exec);
+            let r = sim.run(contention_workloads());
+            (r, sim.now())
+        };
+        assert_eq!(
+            run(ExecBackend::Events),
+            run(ExecBackend::Threads),
+            "noise-on clocks must match bit for bit"
+        );
+    }
+
+    #[test]
+    fn events_backend_runs_hundreds_of_processes() {
+        let mut sim = Sim::new(
+            SimConfig::small()
+                .without_noise()
+                .with_exec(ExecBackend::Events),
+        );
+        let workloads: Vec<(String, Workload<'static, usize>)> = (0..300)
+            .map(|i| {
+                let wl: Workload<'static, usize> = Box::new(move |os: &SimProc| {
+                    os.compute(GrayDuration::from_micros(50));
+                    os.yield_now();
+                    os.compute(GrayDuration::from_micros(50));
+                    i
+                });
+                (format!("p{i}"), wl)
+            })
+            .collect();
+        let r = sim.run(workloads);
+        assert_eq!(r, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_run_reports_pid_name_and_message() {
+        for exec in [ExecBackend::Events, ExecBackend::Threads] {
+            let mut sim = Sim::new(SimConfig::small().without_noise().with_exec(exec));
+            let err = sim
+                .try_run::<u64>(vec![
+                    (
+                        "survivor".to_string(),
+                        Box::new(|os: &SimProc| {
+                            os.compute(GrayDuration::from_millis(1));
+                            7
+                        }),
+                    ),
+                    (
+                        "victim".to_string(),
+                        Box::new(|_os: &SimProc| panic!("boom {}", 42)),
+                    ),
+                ])
+                .unwrap_err();
+            assert_eq!(err.name, "victim", "{exec:?}");
+            assert!(err.message.contains("boom 42"), "{exec:?}: {}", err.message);
+            assert!(err.to_string().contains(&format!("process {}", err.pid)));
+            // The sim survives and runs follow-on work.
+            let n = sim.run_one(|os| {
+                os.compute(GrayDuration::from_micros(10));
+                os.now()
+            });
+            assert!(n > Nanos::ZERO, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn panic_pid_selection_is_deterministic() {
+        // Several panicking processes: both backends must blame the
+        // smallest pid.
+        let run = |exec: ExecBackend| {
+            let mut sim = Sim::new(SimConfig::small().without_noise().with_exec(exec));
+            let workloads: Vec<(String, Workload<'static, ()>)> = (0..4)
+                .map(|i| {
+                    let wl: Workload<'static, ()> = Box::new(move |os: &SimProc| {
+                        os.compute(GrayDuration::from_micros(100 * (4 - i as u64)));
+                        panic!("p{i} down");
+                    });
+                    (format!("p{i}"), wl)
+                })
+                .collect();
+            let err = sim.try_run(workloads).unwrap_err();
+            (err.pid, err.name, err.message)
+        };
+        let a = run(ExecBackend::Events);
+        let b = run(ExecBackend::Threads);
+        assert_eq!(a, b);
+        assert_eq!(a.1, "p0");
     }
 }

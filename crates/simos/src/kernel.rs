@@ -168,6 +168,19 @@ impl Kernel {
         self.procs[pid].live
     }
 
+    /// The conservative-DES resume rule: among `active` pids that are
+    /// still live, the one with the smallest `(local time, pid)`. Both
+    /// executor backends defer to this single definition, which is what
+    /// makes their schedules — and therefore every charged duration and
+    /// noise draw — bit-identical.
+    pub fn next_runnable(&self, active: &[usize]) -> Option<usize> {
+        active
+            .iter()
+            .copied()
+            .filter(|&p| self.proc_live(p))
+            .min_by_key(|&p| (self.proc_time(p), p))
+    }
+
     /// The latest local time across all processes (experiment epilogue).
     pub fn max_time(&self) -> Nanos {
         self.procs

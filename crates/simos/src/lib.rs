@@ -16,9 +16,11 @@
 //!   scan-resistant segmap);
 //! - a **virtual-memory subsystem** ([`vm`]): demand-zero allocation,
 //!   copy-on-write reads, synchronous-reclaim swap on a dedicated disk;
-//! - a **deterministic process executor** ([`exec`]): each simulated
-//!   process runs on a real thread, but exactly one runs at a time and all
-//!   time is virtual, so multi-process experiments are exactly repeatable;
+//! - a **deterministic process executor** ([`exec`]): simulated processes
+//!   are resumable coroutines driven by one event loop (or, behind the
+//!   `SIMOS_EXEC=threads` selector, one real thread each); exactly one
+//!   runs at a time and all time is virtual, so multi-process experiments
+//!   are exactly repeatable — and bit-identical across both backends;
 //! - a virtual **clock with a seeded noise model** ([`clock`]), so the
 //!   statistical machinery of the ICLs is genuinely exercised.
 //!
@@ -51,6 +53,7 @@
 pub mod cache;
 pub mod clock;
 pub mod config;
+mod coro;
 pub mod disk;
 pub mod exec;
 pub mod fs;
@@ -61,7 +64,8 @@ pub mod score;
 pub mod vm;
 
 pub use config::{
-    CacheArch, CostParams, DiskParams, FsParams, LayoutPolicy, NoiseParams, Platform, SimConfig,
+    CacheArch, CostParams, DiskParams, ExecBackend, FsParams, LayoutPolicy, NoiseParams, Platform,
+    SimConfig,
 };
-pub use exec::{Sim, SimProc};
+pub use exec::{ProcPanic, Sim, SimProc};
 pub use oracle::Oracle;

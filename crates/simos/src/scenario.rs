@@ -10,7 +10,7 @@
 
 use graybox::os::GrayBoxOs;
 
-use crate::{DiskParams, Sim, SimConfig};
+use crate::{DiskParams, ExecBackend, Sim, SimConfig};
 
 /// Builds a quiet (no timing noise) machine with `disks` independent
 /// small disks and enough CPU slack that `workers` concurrent probe
@@ -22,6 +22,21 @@ pub fn daemon_machine(disks: usize, workers: usize) -> Sim {
     cfg.disks = vec![DiskParams::small(); disks.max(2)];
     cfg.swap_disk = 1;
     cfg.cpus = (2 * workers.max(1)) as u32;
+    Sim::new(cfg)
+}
+
+/// Builds a quiet machine sized for *fleet* experiments: hundreds-to-
+/// thousands of short-lived probe processes sharing `disks` data disks
+/// and `cpus` CPU slots, under an explicitly pinned executor backend.
+/// Both backends build the bit-identical machine — the backend only
+/// decides how the host drives it — which is what lets the fleet bench
+/// and the equivalence suite compare them directly.
+pub fn fleet_machine(disks: usize, cpus: u32, exec: ExecBackend) -> Sim {
+    assert!(disks >= 1, "need at least one disk");
+    let mut cfg = SimConfig::small().without_noise().with_exec(exec);
+    cfg.disks = vec![DiskParams::small(); disks.max(2)];
+    cfg.swap_disk = 1;
+    cfg.cpus = cpus.max(1);
     Sim::new(cfg)
 }
 

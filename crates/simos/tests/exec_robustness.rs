@@ -4,42 +4,54 @@
 use gray_toolbox::GrayDuration;
 use graybox::os::{GrayBoxOs, GrayBoxOsExt, OsError};
 use simos::exec::Workload;
-use simos::{DiskParams, FsParams, Sim, SimConfig, SimProc};
+use simos::{DiskParams, ExecBackend, FsParams, Sim, SimConfig, SimProc};
 
 #[test]
 fn panicking_process_does_not_strand_siblings() {
-    let mut sim = Sim::new(SimConfig::small().without_noise());
-    // Run a panicking workload next to a working one; the scope will
-    // propagate the panic after both threads finish, so catch it.
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let workloads: Vec<(String, Workload<'_, u64>)> = vec![
-            (
-                "doomed".to_string(),
-                Box::new(|os: &SimProc| {
-                    os.compute(GrayDuration::from_millis(1));
-                    panic!("deliberate test panic");
-                }),
-            ),
-            (
-                "survivor".to_string(),
-                Box::new(|os: &SimProc| {
-                    for _ in 0..50 {
+    for exec in [ExecBackend::Events, ExecBackend::Threads] {
+        let mut sim = Sim::new(SimConfig::small().without_noise().with_exec(exec));
+        // Run a panicking workload next to a working one. `run` re-raises
+        // the process panic (after every sibling has finished), so catch
+        // it and check the structured rendering.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let workloads: Vec<(String, Workload<'_, u64>)> = vec![
+                (
+                    "doomed".to_string(),
+                    Box::new(|os: &SimProc| {
                         os.compute(GrayDuration::from_millis(1));
-                    }
-                    42
-                }),
-            ),
-        ];
-        sim.run(workloads)
-    }));
-    // The panic must propagate (not deadlock), and the simulation must
-    // stay usable afterwards.
-    assert!(result.is_err(), "the workload panic must propagate");
-    let after = sim.run_one(|os| {
-        os.write_file("/alive", b"yes").unwrap();
-        os.read_to_vec("/alive").unwrap()
-    });
-    assert_eq!(after, b"yes");
+                        panic!("deliberate test panic");
+                    }),
+                ),
+                (
+                    "survivor".to_string(),
+                    Box::new(|os: &SimProc| {
+                        for _ in 0..50 {
+                            os.compute(GrayDuration::from_millis(1));
+                        }
+                        42
+                    }),
+                ),
+            ];
+            sim.run(workloads)
+        }));
+        // The panic must propagate (not deadlock), it must name the
+        // culprit — regression: the old executor died a second time on an
+        // empty result slot ("workload completed") instead — and the
+        // simulation must stay usable afterwards.
+        let payload = result.expect_err("the workload panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("run panics with a rendered ProcPanic");
+        assert!(
+            message.contains("\"doomed\"") && message.contains("deliberate test panic"),
+            "{exec:?}: panic must name process and cause, got: {message}"
+        );
+        let after = sim.run_one(|os| {
+            os.write_file("/alive", b"yes").unwrap();
+            os.read_to_vec("/alive").unwrap()
+        });
+        assert_eq!(after, b"yes", "{exec:?}");
+    }
 }
 
 #[test]

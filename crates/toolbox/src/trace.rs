@@ -417,6 +417,39 @@ impl Drop for LaneGuard {
     }
 }
 
+/// A detached copy of this thread's per-context trace identity: the open
+/// span stack and the lane binding. Executors that multiplex many
+/// logical processes over one driver thread (the event-driven `simos`
+/// backend) keep one `TraceCtx` per process and [`swap_ctx`] it in
+/// around every resume, so spans opened by one process never leak into
+/// another's records and each process keeps a stable lane.
+#[derive(Debug, Default)]
+pub struct TraceCtx {
+    spans: Vec<String>,
+    lane: u64,
+}
+
+impl TraceCtx {
+    /// A fresh context: no open spans, lane unbound (lazily allocated on
+    /// first record, exactly like a fresh thread).
+    pub fn new() -> Self {
+        TraceCtx {
+            spans: Vec::new(),
+            lane: u64::MAX,
+        }
+    }
+}
+
+/// Exchanges this thread's span stack and lane with `ctx`. Call once to
+/// install a context before resuming its process and once after it
+/// suspends to stow it away again; the pairing restores the caller's own
+/// identity in between. Swapping (rather than set/clear) makes the
+/// operation self-inverse and allocation-free.
+pub fn swap_ctx(ctx: &mut TraceCtx) {
+    SPAN_STACK.with(|s| std::mem::swap(&mut *s.borrow_mut(), &mut ctx.spans));
+    ctx.lane = LANE.with(|c| c.replace(ctx.lane));
+}
+
 /// Whether tracing is currently enabled. One relaxed atomic load — this
 /// is the entire cost of every instrumentation site in a disabled build.
 #[inline]

@@ -1,0 +1,284 @@
+//! Events-vs-threads executor equivalence (`simos::ExecBackend`).
+//!
+//! The event-driven executor's whole correctness claim is that it is the
+//! *same simulation* as the thread-backed one: both ask the kernel for
+//! the minimum-(virtual time, pid) runnable process at the same decision
+//! points, so the kernel call sequence — and with it every charged
+//! duration, every noise draw, every file-cache transition, and every
+//! final clock — must agree **bit for bit**. These properties pin that
+//! claim across PROP_SEED-replayable random workloads, with timing noise
+//! on, at three levels:
+//!
+//! 1. raw syscall soup: random multi-process programs over shared files,
+//!    compared by per-process observation digests and final clocks;
+//! 2. the paper's FCCD fleet path through `gray-sched` waves: ranks,
+//!    cached/uncached classification splits, and the separation score
+//!    compared to the last bit;
+//! 3. panic propagation: a dying process yields the same structured
+//!    [`ProcPanic`] (pid, name, message) and leaves the same clock.
+//!
+//! Replay a failing case from the harness banner:
+//!
+//! ```text
+//! PROP_SEED=0x<seed> cargo test -q --test exec_equivalence
+//! PROP_CASES=50 cargo test -q --test exec_equivalence
+//! ```
+
+use graybox_icl::apps::workload::make_file;
+use graybox_icl::graybox::fccd::{classify_ranks, FccdParams};
+use graybox_icl::graybox::os::{GrayBoxOs, ProbeSpec};
+use graybox_icl::sched::{FccdFleet, SchedConfig, Scheduler, SimExecutor};
+use graybox_icl::simos::exec::Workload;
+use graybox_icl::simos::{ExecBackend, Sim, SimConfig, SimProc};
+use graybox_icl::toolbox::prop::{check, Gen};
+use graybox_icl::toolbox::GrayDuration;
+
+fn fnv(h: &mut u64, v: u64) {
+    *h ^= v;
+    *h = h.wrapping_mul(0x100_0000_01b3);
+}
+
+/// One step of a random per-process program. Programs are drawn once per
+/// case and interpreted under both backends, so any divergence is the
+/// executor's.
+#[derive(Debug, Clone)]
+enum Op {
+    Compute(u64),
+    Sleep(u64),
+    Write { f: usize, off: u64, len: u64 },
+    Read { f: usize, off: u64, len: u64 },
+    Probe { f: usize, offs: Vec<u64> },
+    Stat(usize),
+    Yield,
+}
+
+const SOUP_FILES: usize = 4;
+const SOUP_FILE_BYTES: u64 = 256 << 10;
+
+fn draw_program(g: &mut Gen) -> Vec<Op> {
+    g.vec(4..14, |g| match g.usize(0..7) {
+        0 => Op::Compute(g.u64(10..500)),
+        1 => Op::Sleep(g.u64(10..800)),
+        2 => Op::Write {
+            f: g.usize(0..SOUP_FILES),
+            off: g.u64(0..SOUP_FILE_BYTES - 4096),
+            len: g.u64(1..16) * 4096,
+        },
+        3 => Op::Read {
+            f: g.usize(0..SOUP_FILES),
+            off: g.u64(0..SOUP_FILE_BYTES - 4096),
+            len: g.u64(1..16) * 4096,
+        },
+        4 => Op::Probe {
+            f: g.usize(0..SOUP_FILES),
+            offs: g.vec(1..6, |g| g.u64(0..SOUP_FILE_BYTES)),
+        },
+        5 => Op::Stat(g.usize(0..SOUP_FILES)),
+        _ => Op::Yield,
+    })
+}
+
+/// Interprets a program, folding every observation (clock reads, probe
+/// timings, byte counts) into one digest. Any scheduling difference
+/// between backends perturbs some process's clock and shows up here.
+fn interpret(os: &SimProc, program: &[Op]) -> u64 {
+    let paths: Vec<String> = (0..SOUP_FILES).map(|i| format!("/s{i}")).collect();
+    let fds: Vec<_> = paths.iter().map(|p| os.open(p).unwrap()).collect();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for op in program {
+        match op {
+            Op::Compute(us) => os.compute(GrayDuration::from_micros(*us)),
+            Op::Sleep(us) => os.sleep(GrayDuration::from_micros(*us)),
+            Op::Write { f, off, len } => {
+                let len = (*len).min(SOUP_FILE_BYTES - off);
+                fnv(&mut h, os.write_fill(fds[*f], *off, len).unwrap());
+            }
+            Op::Read { f, off, len } => {
+                let len = (*len).min(SOUP_FILE_BYTES - off);
+                fnv(&mut h, os.read_discard(fds[*f], *off, len).unwrap());
+            }
+            Op::Probe { f, offs } => {
+                let specs: Vec<ProbeSpec> =
+                    offs.iter().map(|&offset| ProbeSpec { offset }).collect();
+                for s in os.probe_batch(fds[*f], &specs) {
+                    fnv(&mut h, s.elapsed.as_nanos());
+                    fnv(&mut h, s.ok as u64);
+                }
+            }
+            Op::Stat(f) => {
+                let st = os.stat(&paths[*f]).unwrap();
+                fnv(&mut h, st.size);
+                fnv(&mut h, st.atime.as_nanos());
+            }
+            Op::Yield => os.yield_now(),
+        }
+        fnv(&mut h, os.now().as_nanos());
+    }
+    for fd in fds {
+        os.close(fd).unwrap();
+    }
+    h
+}
+
+#[test]
+fn random_syscall_soup_is_bit_identical_across_backends() {
+    check(
+        "random_syscall_soup_is_bit_identical_across_backends",
+        10,
+        |g: &mut Gen| {
+            let seed = g.u64(1..u64::MAX);
+            let programs: Vec<Vec<Op>> = (0..g.usize(3..9)).map(|_| draw_program(g)).collect();
+
+            let run = |exec: ExecBackend| {
+                // Noise stays ON: the noise stream is part of the kernel
+                // call sequence, so it must stay in step too.
+                let mut sim = Sim::new(SimConfig::small().with_seed(seed).with_exec(exec));
+                sim.run_one(|os| {
+                    for i in 0..SOUP_FILES {
+                        make_file(os, &format!("/s{i}"), SOUP_FILE_BYTES).unwrap();
+                    }
+                });
+                sim.flush_file_cache();
+                let workloads: Vec<(String, Workload<'_, u64>)> = programs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, program)| {
+                        let program = program.clone();
+                        let w: Workload<'_, u64> =
+                            Box::new(move |os: &SimProc| interpret(os, &program));
+                        (format!("p{i}"), w)
+                    })
+                    .collect();
+                let digests = sim.run(workloads);
+                (digests, sim.now())
+            };
+
+            let events = run(ExecBackend::Events);
+            let threads = run(ExecBackend::Threads);
+            assert_eq!(
+                events.0, threads.0,
+                "per-process observation digests diverge"
+            );
+            assert_eq!(events.1, threads.1, "final virtual clocks diverge");
+        },
+    );
+}
+
+#[test]
+fn fccd_fleet_classifies_bit_identically_across_backends() {
+    check(
+        "fccd_fleet_classifies_bit_identically_across_backends",
+        6,
+        |g: &mut Gen| {
+            let access_unit = 1u64 << 20;
+            let params = FccdParams {
+                access_unit,
+                prediction_unit: 256 << 10,
+                probe_rounds: g.range(1u32..3),
+                seed: g.u64(1..u64::MAX),
+                ..FccdParams::default()
+            };
+            let nfiles = g.range(3usize..6);
+            let files: Vec<(String, u64)> = (0..nfiles)
+                .map(|i| (format!("/f{i}"), g.u64(1..4) * access_unit))
+                .collect();
+            let warm: Vec<Vec<u64>> = files
+                .iter()
+                .map(|(_, size)| (0..size / access_unit).filter(|_| g.bool()).collect())
+                .collect();
+            // Concurrency > 1 so plan processes genuinely interleave —
+            // that is exactly the regime the coroutine driver must get
+            // right.
+            let concurrency = g.range(2usize..5);
+
+            let run = |exec: ExecBackend| {
+                let mut sim = Sim::new(SimConfig::small().with_exec(exec));
+                let setup = files.clone();
+                sim.run_one(move |os| {
+                    for (path, size) in &setup {
+                        make_file(os, path, *size).unwrap();
+                    }
+                });
+                sim.flush_file_cache();
+                let warm_files: Vec<(String, Vec<u64>)> = files
+                    .iter()
+                    .zip(&warm)
+                    .map(|((p, _), u)| (p.clone(), u.clone()))
+                    .collect();
+                sim.run_one(move |os| {
+                    for (path, units) in &warm_files {
+                        let fd = os.open(path).unwrap();
+                        for &u in units {
+                            os.read_discard(fd, u * access_unit, access_unit).unwrap();
+                        }
+                        os.close(fd).unwrap();
+                    }
+                });
+                let params = params.clone();
+                let fleet = sim.run_one(move |os| FccdFleet::with_fixed_seed(os, params, 0));
+                let mut sched = Scheduler::new(SchedConfig {
+                    concurrency,
+                    ..SchedConfig::default()
+                });
+                let mut exec = SimExecutor::new(&mut sim);
+                let ranks = fleet.order_files(&mut sched, &mut exec, &files);
+                (ranks, sim.now())
+            };
+
+            let (ranks_e, clock_e) = run(ExecBackend::Events);
+            let (ranks_t, clock_t) = run(ExecBackend::Threads);
+            assert_eq!(ranks_e, ranks_t, "fleet ranks diverge");
+            assert_eq!(clock_e, clock_t, "final virtual clocks diverge");
+            let (ce, ct) = (classify_ranks(ranks_e), classify_ranks(ranks_t));
+            assert_eq!(ce.cached, ct.cached, "cached split diverges");
+            assert_eq!(ce.uncached, ct.uncached, "uncached split diverges");
+            assert_eq!(
+                ce.separation.to_bits(),
+                ct.separation.to_bits(),
+                "separation score diverges: {} vs {}",
+                ce.separation,
+                ct.separation
+            );
+        },
+    );
+}
+
+#[test]
+fn panic_propagation_is_equivalent_across_backends() {
+    check(
+        "panic_propagation_is_equivalent_across_backends",
+        8,
+        |g: &mut Gen| {
+            let seed = g.u64(1..u64::MAX);
+            let n = g.usize(2..6);
+            let victim = g.usize(0..n);
+            let victim_work = g.u64(1..2_000);
+
+            let run = |exec: ExecBackend| {
+                let mut sim = Sim::new(SimConfig::small().with_seed(seed).with_exec(exec));
+                let workloads: Vec<(String, Workload<'_, u64>)> = (0..n)
+                    .map(|i| {
+                        let w: Workload<'_, u64> = Box::new(move |os: &SimProc| {
+                            os.compute(GrayDuration::from_micros(500));
+                            if i == victim {
+                                os.compute(GrayDuration::from_micros(victim_work));
+                                panic!("victim {i} went down");
+                            }
+                            os.compute(GrayDuration::from_micros(500));
+                            os.now().as_nanos()
+                        });
+                        (format!("p{i}"), w)
+                    })
+                    .collect();
+                let err = sim.try_run(workloads).unwrap_err();
+                (err.pid, err.name, err.message, sim.now())
+            };
+
+            let events = run(ExecBackend::Events);
+            let threads = run(ExecBackend::Threads);
+            assert_eq!(events, threads, "structured panic or clock diverges");
+            assert_eq!(events.1, format!("p{victim}"));
+            assert!(events.2.contains("went down"));
+        },
+    );
+}
