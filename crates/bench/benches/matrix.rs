@@ -1,0 +1,5 @@
+//! `cargo bench --bench matrix` — see `gray_bench::suites::matrix`.
+
+fn main() {
+    gray_bench::suites::run_standalone(gray_bench::suites::matrix::register);
+}

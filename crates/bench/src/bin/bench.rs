@@ -1,10 +1,10 @@
 //! The benchmark runner: sweeps every suite and persists a baseline file.
 //!
 //! ```text
-//! cargo run --release -p gray-bench --bin bench              # full run → BENCH_PR7.json
+//! cargo run --release -p gray-bench --bin bench              # full run → BENCH_PR8.json
 //! cargo run --release -p gray-bench --bin bench -- --smoke   # 1 warmup + 1 iter each → BENCH_SMOKE.json
 //! cargo run --release -p gray-bench --bin bench -- fccd      # substring filter, as with cargo bench
-//! cargo run --release -p gray-bench --bin bench -- --diff BENCH_PR6.json BENCH_PR7.json
+//! cargo run --release -p gray-bench --bin bench -- --diff BENCH_PR7.json BENCH_PR8.json
 //! cargo run --release -p gray-bench --bin bench -- --diff --strict old.json new.json  # exit 1 on regression
 //! ```
 //!
@@ -32,7 +32,7 @@ use gray_toolbox::bench::Harness;
 use std::time::Duration;
 
 /// Baseline file for full runs (committed at the repo root).
-const BASELINE: &str = "BENCH_PR7.json";
+const BASELINE: &str = "BENCH_PR8.json";
 /// Output for smoke runs (existence proof only, never committed).
 const SMOKE_OUT: &str = "BENCH_SMOKE.json";
 /// Mean-time ratio above which `--diff` flags a benchmark as regressed.
@@ -163,6 +163,43 @@ fn main() {
         ",\n  \"exec_fleet_speedup\": {{{}}}",
         f.json_fields()
     ));
+    // The scenario matrix: the scored grid is virtual-time deterministic
+    // (bit-identical for any worker count — gated), while the 1-vs-N
+    // worker host time is measured paired and decided by the sign test.
+    // Under --smoke the grid shrinks but the same machinery runs, so CI
+    // exercises the gate end to end.
+    let m = suites::matrix::run(smoke);
+    println!(
+        "scenario matrix: {} cells ({} panicked), identical {}, precision {:.3} \
+         recall {:.3} mac_err {:.3}; {} workers on {} cpus → {:.2}x \
+         (paired sign test: {} faster / {} slower, p={:.4})",
+        m.cells,
+        m.panicked,
+        m.identical,
+        m.precision,
+        m.recall,
+        m.mac_err,
+        m.workers,
+        m.host_cpus,
+        m.paired.speedup,
+        m.paired.sign.less,
+        m.paired.sign.greater,
+        m.paired.sign.p_value
+    );
+    headlines.push_str(&format!(",\n  \"matrix\": {{{}}}", m.json_fields()));
+    headlines.push_str(&format!(
+        ",\n  \"matrix_host_speedup\": {{{}}}",
+        m.speedup_json_fields()
+    ));
+    let grid_lines: Vec<String> = m
+        .grid_json_lines()
+        .into_iter()
+        .map(|l| format!("    {l}"))
+        .collect();
+    sections.push(format!(
+        "  \"matrix_grid\": [\n{}\n  ]",
+        grid_lines.join(",\n")
+    ));
 
     let json = format!(
         "{{\n  \"schema\": \"gray-bench-baseline/v1\",\n  \"smoke\": {smoke},\n{}{headlines}\n}}\n",
@@ -224,7 +261,8 @@ fn diff(old_path: &str, new_path: &str) -> i32 {
     let hard = diff_accuracy(old_path, new_path)
         + diff_virtual(old_path, new_path)
         + diff_gbd(old_path, new_path)
-        + diff_fleet(old_path, new_path);
+        + diff_fleet(old_path, new_path)
+        + diff_matrix(old_path, new_path);
     println!(
         "{compared} compared: {regressed} host-time slower (informational), \
          {hard} deterministic regressions"
@@ -400,6 +438,115 @@ fn diff_fleet(old_path: &str, new_path: &str) -> usize {
         field_num(&new_line, "host_speedup"),
     ) {
         println!("  info      exec_fleet.host_speedup: {old_v:.2}x → {new_v:.2}x (informational)");
+    }
+    regressed
+}
+
+/// Compares the scenario-matrix headline and its paired host-time row.
+///
+/// Deterministic and therefore gated: the worker-count bit-identity flag
+/// (`identical:false` in the new baseline is always a hard regression —
+/// the grid depended on scheduling) and the aggregate scores (precision/
+/// recall/MAC error under [`ACCURACY_SLACK`], total virtual makespan
+/// under the usual 10% slack).
+///
+/// The host-speedup row is measured, not deterministic, so it gates only
+/// on its own *decided* verdict: a hard failure requires the paired sign
+/// test to find the N-worker run significantly slower (`sign_greater >
+/// sign_less` at p < 0.05) **and** the median paired speedup below 0.8 —
+/// i.e. parallelism made things consistently worse, which no amount of
+/// runner noise produces under paired A/B/B/A interleaving. A small or
+/// single-core host (see `host_cpus`) yields ~1x with an insignificant
+/// sign test and passes; only a real fan-out regression fails.
+fn diff_matrix(old_path: &str, new_path: &str) -> usize {
+    let headline = |path: &str| -> Option<String> {
+        let text = std::fs::read_to_string(path).ok()?;
+        text.lines()
+            .find(|l| l.contains("\"grid_digest\":"))
+            .map(str::to_string)
+    };
+    let Some(new_line) = headline(new_path) else {
+        if headline(old_path).is_some() {
+            println!("  removed   scenario matrix headline");
+        }
+        return 0;
+    };
+    let mut regressed = 0usize;
+    if new_line.contains("\"identical\":false") {
+        regressed += 1;
+        println!("  REGRESSED matrix.identical: grid depends on worker count");
+    }
+    // The speedup row gates on the new file alone — the decision rule is
+    // recorded in the row itself.
+    let speedup_line = |path: &str| -> Option<String> {
+        let text = std::fs::read_to_string(path).ok()?;
+        text.lines()
+            .find(|l| l.contains("\"one_worker_median_ns\":"))
+            .map(str::to_string)
+    };
+    if let Some(line) = speedup_line(new_path) {
+        let speedup = field_num(&line, "speedup").unwrap_or(1.0);
+        let less = field_num(&line, "sign_less").unwrap_or(0.0);
+        let greater = field_num(&line, "sign_greater").unwrap_or(0.0);
+        let p = field_num(&line, "p_value").unwrap_or(1.0);
+        let cpus = field_num(&line, "host_cpus").unwrap_or(1.0);
+        if greater > less && p < 0.05 && speedup < 0.8 {
+            regressed += 1;
+            println!(
+                "  REGRESSED matrix_host_speedup: {speedup:.2}x on {cpus:.0} cpus \
+                 (N workers significantly slower, p={p:.4})"
+            );
+        } else {
+            println!(
+                "  info      matrix_host_speedup: {speedup:.2}x on {cpus:.0} cpus \
+                 (sign test {less:.0} faster / {greater:.0} slower, p={p:.4})"
+            );
+        }
+    }
+    let Some(old_line) = headline(old_path) else {
+        println!("  new       scenario matrix headline");
+        return regressed;
+    };
+    // Aggregates are only comparable over the same grid: a full baseline
+    // vs a smoke baseline sweeps different cells, and their means differ
+    // by construction, not by regression.
+    let cells = |line: &str| field_num(line, "cells");
+    if cells(&old_line) != cells(&new_line) {
+        println!(
+            "  info      matrix grid shape changed ({:.0} → {:.0} cells); \
+             aggregate comparison skipped",
+            cells(&old_line).unwrap_or(0.0),
+            cells(&new_line).unwrap_or(0.0)
+        );
+        return regressed;
+    }
+    for (key, higher_is_better) in [("precision", true), ("recall", true), ("mac_err", false)] {
+        let (Some(old_v), Some(new_v)) = (field_num(&old_line, key), field_num(&new_line, key))
+        else {
+            continue;
+        };
+        let delta = if higher_is_better {
+            old_v - new_v
+        } else {
+            new_v - old_v
+        };
+        if delta > ACCURACY_SLACK {
+            regressed += 1;
+            println!("  REGRESSED matrix.{key}: {old_v:.4} → {new_v:.4}");
+        } else if delta < -ACCURACY_SLACK {
+            println!("  improved  matrix.{key}: {old_v:.4} → {new_v:.4}");
+        }
+    }
+    if let (Some(old_v), Some(new_v)) = (
+        field_num(&old_line, "total_virtual_ns"),
+        field_num(&new_line, "total_virtual_ns"),
+    ) {
+        if new_v > old_v * 1.1 {
+            regressed += 1;
+            println!("  REGRESSED matrix.total_virtual_ns: {old_v:.0} → {new_v:.0}");
+        } else if new_v < old_v * 0.9 {
+            println!("  improved  matrix.total_virtual_ns: {old_v:.0} → {new_v:.0}");
+        }
     }
     regressed
 }

@@ -9,6 +9,7 @@ pub mod daemon;
 pub mod figures;
 pub mod fleet;
 pub mod icl;
+pub mod matrix;
 pub mod sched;
 pub mod substrate;
 pub mod toolbox;
@@ -20,7 +21,7 @@ use std::time::Duration;
 pub type Register = fn(&mut Harness);
 
 /// All suites, in baseline-file order: `(target name, register fn)`.
-pub const ALL: [(&str, Register); 8] = [
+pub const ALL: [(&str, Register); 9] = [
     ("toolbox", toolbox::register),
     ("substrate", substrate::register),
     ("icl", icl::register),
@@ -29,6 +30,7 @@ pub const ALL: [(&str, Register); 8] = [
     ("sched", sched::register),
     ("daemon", daemon::register),
     ("fleet", fleet::register),
+    ("matrix", matrix::register),
 ];
 
 /// Runs one suite standalone with the `cargo bench` timing budget — the

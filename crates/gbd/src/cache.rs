@@ -139,10 +139,27 @@ impl StalenessPolicy for ChurnAware {
     }
 }
 
-/// The cache proper: query fingerprint → entry, with hit/miss accounting.
-#[derive(Debug, Default)]
+/// The cache proper: query fingerprint → entry, with hit/miss accounting
+/// and a capacity bound.
+///
+/// A long-running daemon sees an unbounded stream of distinct query
+/// fingerprints; without a bound the cache grows forever. Inserting past
+/// `capacity` evicts the **oldest-stamped** entries (ties broken by
+/// smallest key, so eviction is deterministic) — the entry nearest its
+/// TTL anyway, making this the cheapest-regret choice.
+#[derive(Debug)]
 pub struct InferenceCache {
     entries: BTreeMap<String, CacheEntry>,
+    capacity: usize,
+}
+
+impl Default for InferenceCache {
+    fn default() -> Self {
+        InferenceCache {
+            entries: BTreeMap::new(),
+            capacity: usize::MAX,
+        }
+    }
 }
 
 /// What a lookup found.
@@ -157,9 +174,23 @@ pub enum Lookup {
 }
 
 impl InferenceCache {
-    /// Creates an empty cache.
+    /// Creates an empty, effectively unbounded cache.
     pub fn new() -> Self {
         InferenceCache::default()
+    }
+
+    /// Creates an empty cache bounded to `capacity` entries (clamped to
+    /// at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        InferenceCache {
+            entries: BTreeMap::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Consults the cache under `policy` at virtual time `now`. Expired
@@ -177,9 +208,28 @@ impl InferenceCache {
         }
     }
 
-    /// Stores (or replaces) an entry.
-    pub fn insert(&mut self, key: String, entry: CacheEntry) {
+    /// Stores (or replaces) an entry, then evicts oldest-stamped entries
+    /// until the capacity holds again. Returns the evicted keys (in
+    /// eviction order) so the daemon can count and trace them. If the
+    /// incoming entry carries the oldest stamp of all, it is itself the
+    /// eviction victim — deterministic, and correct for a stamp that far
+    /// behind the rest of the cache.
+    pub fn insert(&mut self, key: String, entry: CacheEntry) -> Vec<String> {
         self.entries.insert(key, entry);
+        let mut evicted = Vec::new();
+        while self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by(|(ka, ea), (kb, eb)| {
+                    ea.stored_at.cmp(&eb.stored_at).then_with(|| ka.cmp(kb))
+                })
+                .map(|(k, _)| k.clone())
+                .expect("cache is over capacity, so non-empty");
+            self.entries.remove(&victim);
+            evicted.push(victim);
+        }
+        evicted
     }
 
     /// Removes an entry, returning it if present.
@@ -275,6 +325,51 @@ mod tests {
             churn.disposition(&entry(5000, &[]), Nanos(4999)),
             Disposition::Expired
         );
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_stamp_first() {
+        let mut cache = InferenceCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        assert!(cache
+            .insert("young".to_string(), entry(300, &[]))
+            .is_empty());
+        assert!(cache.insert("old".to_string(), entry(100, &[])).is_empty());
+        // Third entry: the oldest stamp ("old") goes, not the newest key.
+        let evicted = cache.insert("mid".to_string(), entry(200, &[]));
+        assert_eq!(evicted, vec!["old".to_string()]);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.iter().any(|(k, _)| k == "young"));
+        assert!(cache.iter().any(|(k, _)| k == "mid"));
+    }
+
+    #[test]
+    fn capacity_tie_breaks_on_smallest_key() {
+        let mut cache = InferenceCache::with_capacity(2);
+        cache.insert("b".to_string(), entry(100, &[]));
+        cache.insert("a".to_string(), entry(100, &[]));
+        let evicted = cache.insert("c".to_string(), entry(100, &[]));
+        assert_eq!(evicted, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn replacement_does_not_evict() {
+        let mut cache = InferenceCache::with_capacity(2);
+        cache.insert("a".to_string(), entry(100, &[]));
+        cache.insert("b".to_string(), entry(200, &[]));
+        // Replacing an existing key keeps the cache at capacity.
+        let evicted = cache.insert("a".to_string(), entry(300, &[]));
+        assert!(evicted.is_empty());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn unbounded_default_never_evicts() {
+        let mut cache = InferenceCache::new();
+        for i in 0..100 {
+            assert!(cache.insert(format!("k{i}"), entry(i, &[])).is_empty());
+        }
+        assert_eq!(cache.len(), 100);
     }
 
     #[test]

@@ -197,6 +197,8 @@ pub struct GbdStats {
     pub invalidated: u64,
     /// Churn-evicted entries re-inferred within the tick.
     pub reinfers: u64,
+    /// Cache entries evicted by the capacity bound (oldest stamp first).
+    pub capacity_evictions: u64,
     /// Probe-needing executions admitted.
     pub admitted: u64,
     /// Scheduler waves dispatched on the daemon's behalf.
@@ -268,11 +270,12 @@ impl Gbd {
     pub fn new(cfg: GbdConfig, policy: Box<dyn StalenessPolicy>) -> Self {
         let sched = Scheduler::new(cfg.sched.clone());
         let admission = QueryAdmission::new(cfg.admission_budget);
+        let cache = InferenceCache::with_capacity(cfg.cache_capacity);
         Gbd {
             cfg,
             policy,
             sched,
-            cache: InferenceCache::new(),
+            cache,
             admission,
             mailbox: Mailbox::new(),
             tenants: Vec::new(),
@@ -647,7 +650,7 @@ impl Gbd {
     ) {
         let served_at = sim.now();
         if item.query.cacheable() && !matches!(reply, Reply::Failed(_)) {
-            self.cache.insert(
+            let evicted = self.cache.insert(
                 item.key.clone(),
                 CacheEntry {
                     query: item.query.clone(),
@@ -656,6 +659,13 @@ impl Gbd {
                     verdicts,
                 },
             );
+            self.stats.capacity_evictions += evicted.len() as u64;
+            for key in evicted {
+                trace::emit_with(|| TraceEvent::CacheAccess {
+                    key,
+                    outcome: "evicted",
+                });
+            }
         }
         for (tenant, ticket) in &item.waiters {
             let t = &self.tenants[*tenant];

@@ -27,9 +27,9 @@
 //!   classification verdicts) carry the lane of the tenant they serve, so
 //!   per-client telemetry falls out of the PR 5 tracer for free.
 //!
-//! Tunables (`gbd.cache_ttl`, `gbd.max_tenants`, `gbd.admission_budget`)
-//! come from the shared parameter repository, like the `sched.*` and
-//! `fccd.*` keys before them.
+//! Tunables (`gbd.cache_ttl`, `gbd.max_tenants`, `gbd.admission_budget`,
+//! `gbd.cache_capacity`) come from the shared parameter repository, like
+//! the `sched.*` and `fccd.*` keys before them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +60,11 @@ pub struct GbdConfig {
     /// Probe-needing queries admitted per tick at full budget
     /// (`gbd.admission_budget`); the live budget moves AIMD-style below.
     pub admission_budget: usize,
+    /// Most inference-cache entries held at once (`gbd.cache_capacity`);
+    /// inserting past it evicts the oldest-stamped entries. The default
+    /// is far above any benchmark's working set, so the bound only bites
+    /// on genuinely long-running daemons.
+    pub cache_capacity: usize,
     /// FCCD planner parameters shared by every tenant's queries.
     pub fccd: FccdParams,
     /// MAC parameters for estimates and pooled allocations.
@@ -81,6 +86,7 @@ impl Default for GbdConfig {
             cache_ttl: GrayDuration::from_millis(250),
             max_tenants: 64,
             admission_budget: 8,
+            cache_capacity: 4096,
             fccd: FccdParams::default(),
             mac: MacParams::default(),
             sched: SchedConfig::default(),
@@ -114,6 +120,11 @@ impl GbdConfig {
         if let Ok(Some(b)) = repo.get_u64(keys::GBD_ADMISSION_BUDGET) {
             if b > 0 {
                 cfg.admission_budget = b as usize;
+            }
+        }
+        if let Ok(Some(cap)) = repo.get_u64(keys::GBD_CACHE_CAPACITY) {
+            if cap > 0 {
+                cfg.cache_capacity = cap as usize;
             }
         }
         cfg
@@ -182,14 +193,17 @@ mod tests {
         repo.set_duration(keys::GBD_CACHE_TTL, GrayDuration::from_millis(75));
         repo.set_raw(keys::GBD_MAX_TENANTS, 3u64);
         repo.set_raw(keys::GBD_ADMISSION_BUDGET, 5u64);
+        repo.set_raw(keys::GBD_CACHE_CAPACITY, 128u64);
         let cfg = GbdConfig::from_repository(&repo);
         assert_eq!(cfg.cache_ttl, GrayDuration::from_millis(75));
         assert_eq!(cfg.max_tenants, 3);
         assert_eq!(cfg.admission_budget, 5);
+        assert_eq!(cfg.cache_capacity, 128);
         let dflt = GbdConfig::from_repository(&ParamRepository::in_memory());
         assert_eq!(dflt.cache_ttl, GbdConfig::default().cache_ttl);
         assert_eq!(dflt.max_tenants, GbdConfig::default().max_tenants);
         assert_eq!(dflt.admission_budget, GbdConfig::default().admission_budget);
+        assert_eq!(dflt.cache_capacity, GbdConfig::default().cache_capacity);
     }
 
     #[test]
@@ -210,6 +224,7 @@ mod tests {
             keys::GBD_CACHE_TTL,
             keys::GBD_MAX_TENANTS,
             keys::GBD_ADMISSION_BUDGET,
+            keys::GBD_CACHE_CAPACITY,
         ] {
             assert!(misses.iter().any(|k| k == key), "no miss for {key}");
         }
@@ -267,6 +282,38 @@ mod tests {
         assert_eq!(ra2.reply, ra.reply);
         assert_eq!(gbd.stats().hits, 1);
         assert_eq!(gbd.stats().coalesced, 1);
+    }
+
+    #[test]
+    fn cache_capacity_pressure_evicts_oldest_and_is_bounded() {
+        let cfg = GbdConfig {
+            cache_capacity: 2,
+            ..small_cfg()
+        };
+        let policy = cfg.ttl_policy();
+        let mut gbd = Gbd::new(cfg, Box::new(policy));
+        let mut sim = scenario::daemon_machine(3, 4);
+        let files = scenario::spread_corpus(&mut sim, 3, 2, 128 << 10);
+        let c = gbd.register_tenant("t").unwrap();
+        // Three distinct cacheable queries in separate ticks: the third
+        // insert displaces the oldest entry instead of growing the cache.
+        for i in 0..3 {
+            let t = c.submit(Query::FccdClassify {
+                files: files[i * 2..i * 2 + 2].to_vec(),
+            });
+            gbd.serve(&mut sim);
+            assert!(c.take(t).expect("served").reply != Reply::Shed);
+            assert!(gbd.cache_len() <= 2, "capacity bound respected");
+        }
+        assert_eq!(gbd.cache_len(), 2);
+        assert!(gbd.stats().capacity_evictions >= 1, "oldest entry evicted");
+        // The two *newest* queries are still cache hits.
+        let t = c.submit(Query::FccdClassify {
+            files: files[4..6].to_vec(),
+        });
+        let tick = gbd.serve(&mut sim);
+        assert_eq!((tick.hits, tick.executed), (1, 0));
+        assert!(c.take(t).expect("served").from_cache);
     }
 
     #[test]

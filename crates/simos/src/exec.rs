@@ -27,6 +27,8 @@
 //! identically.
 
 use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
@@ -84,12 +86,85 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
     }
 }
 
+/// Incremental view of [`Kernel::next_runnable`]: a `(time, pid)` binary
+/// min-heap with lazy invalidation.
+///
+/// The kernel's scan is the *semantic definition* of the resume rule —
+/// the minimum `(local time, pid)` over live active processes — but it
+/// is O(n) per context switch, which made the events driver O(n²) for
+/// the 2048-process fleet. Only the **running** process's clock can
+/// change per syscall, so the minimum is maintainable incrementally:
+///
+/// - [`RunQueue::touch`] pushes a `(time, pid)` entry when a pid's clock
+///   actually changed (zero-cost syscalls like `yield_now` push
+///   nothing, else the heap would grow without bound);
+/// - superseded and retired entries stay in the heap and are discarded
+///   lazily when they surface at the top ([`RunQueue::min`]);
+/// - `pushed[pid]` records the single live entry per pid, so staleness
+///   is one vector compare.
+///
+/// Equivalence with the scan is enforced by a `debug_assert` on every
+/// scheduling decision (all tests run with it) and by a dedicated
+/// property test below; `tests/exec_equivalence.rs` additionally pins
+/// both backends' bit-identity end to end.
+#[derive(Debug, Default)]
+struct RunQueue {
+    heap: BinaryHeap<Reverse<(Nanos, usize)>>,
+    /// `pushed[pid]` is the time of pid's current (valid) heap entry;
+    /// `None` means the pid is not schedulable (finished or inactive).
+    pushed: Vec<Option<Nanos>>,
+}
+
+impl RunQueue {
+    /// Rebuilds the queue for a fresh active set (start of a run).
+    fn install(&mut self, active: &[usize], kernel: &Kernel) {
+        self.heap.clear();
+        self.pushed.iter_mut().for_each(|slot| *slot = None);
+        for &pid in active {
+            self.touch(pid, kernel.proc_time(pid));
+        }
+    }
+
+    /// Records that `pid`'s clock is now `now`. No-op when unchanged, so
+    /// heap growth is bounded by the number of *time-advancing* syscalls.
+    fn touch(&mut self, pid: usize, now: Nanos) {
+        if self.pushed.len() <= pid {
+            self.pushed.resize(pid + 1, None);
+        }
+        if self.pushed[pid] != Some(now) {
+            self.pushed[pid] = Some(now);
+            self.heap.push(Reverse((now, pid)));
+        }
+    }
+
+    /// Removes `pid` from scheduling (its heap entries die lazily).
+    fn retire(&mut self, pid: usize) {
+        if let Some(slot) = self.pushed.get_mut(pid) {
+            *slot = None;
+        }
+    }
+
+    /// The schedulable pid with the smallest `(time, pid)`, discarding
+    /// stale heap entries on the way.
+    fn min(&mut self) -> Option<usize> {
+        while let Some(&Reverse((time, pid))) = self.heap.peek() {
+            if self.pushed.get(pid).copied().flatten() == Some(time) {
+                return Some(pid);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
 #[derive(Debug)]
 struct Sched {
     /// The pid currently holding the baton.
     running: usize,
     /// Pids participating in the current `run` call.
     active: Vec<usize>,
+    /// Incremental min-(time, pid) structure mirroring `active`.
+    runq: RunQueue,
 }
 
 struct State {
@@ -148,6 +223,7 @@ impl Sim {
                     sched: Sched {
                         running: usize::MAX,
                         active: Vec::new(),
+                        runq: RunQueue::default(),
                     },
                 }),
                 cv: Condvar::new(),
@@ -174,6 +250,8 @@ impl Sim {
             let pid = st.kernel.add_proc(start);
             st.sched.running = pid;
             st.sched.active = vec![pid];
+            let State { kernel, sched } = &mut *st;
+            sched.runq.install(&sched.active, kernel);
             pid
         };
         let proc_handle = SimProc {
@@ -185,6 +263,7 @@ impl Sim {
         let mut st = self.shared.lock();
         st.kernel.finish_proc(pid);
         st.sched.active.clear();
+        st.sched.runq.retire(pid);
         r
     }
 
@@ -250,6 +329,8 @@ impl Sim {
         let pids: Vec<usize> = (0..n).map(|_| st.kernel.add_proc(start)).collect();
         st.sched.active = pids.clone();
         st.sched.running = pids[0];
+        let State { kernel, sched } = &mut *st;
+        sched.runq.install(&sched.active, kernel);
         pids
     }
 
@@ -343,6 +424,7 @@ impl Sim {
                             let mut st = shared.lock();
                             st.kernel.finish_proc(pid);
                             st.sched.active.retain(|&p| p != pid);
+                            st.sched.runq.retire(pid);
                         }),
                     )
                 })
@@ -351,7 +433,7 @@ impl Sim {
             loop {
                 let next = {
                     let mut st = self.shared.lock();
-                    match choose_next(&st) {
+                    match choose_next(&mut st) {
                         Some(pid) => {
                             st.sched.running = pid;
                             pid
@@ -411,7 +493,8 @@ impl Drop for ProcFinisher<'_> {
         let mut st = self.shared.lock();
         st.kernel.finish_proc(self.pid);
         st.sched.active.retain(|&p| p != self.pid);
-        if let Some(next) = choose_next(&st) {
+        st.sched.runq.retire(self.pid);
+        if let Some(next) = choose_next(&mut st) {
             st.sched.running = next;
         } else {
             st.sched.running = usize::MAX;
@@ -422,9 +505,18 @@ impl Drop for ProcFinisher<'_> {
 }
 
 /// The runnable process with the smallest (local time, pid) — one
-/// definition shared by both backends, deferred to the kernel.
-fn choose_next(st: &State) -> Option<usize> {
-    st.kernel.next_runnable(&st.sched.active)
+/// definition shared by both backends. Answered in O(log n) by the
+/// incremental [`RunQueue`]; the kernel's O(n) scan remains the semantic
+/// definition and cross-checks every decision in debug builds.
+fn choose_next(st: &mut State) -> Option<usize> {
+    let State { kernel, sched } = &mut *st;
+    let next = sched.runq.min();
+    debug_assert_eq!(
+        next,
+        kernel.next_runnable(&sched.active),
+        "incremental run queue diverged from the kernel scan"
+    );
+    next
 }
 
 /// A process's handle to the simulated kernel; implements the full
@@ -455,7 +547,13 @@ impl SimProc {
             "process ran without holding the baton"
         );
         let r = f(&mut st.kernel, self.pid);
-        if let Some(next) = choose_next(&st) {
+        {
+            // Only the running process's clock can change inside `f`, so
+            // one touch keeps the run queue exact.
+            let State { kernel, sched } = &mut *st;
+            sched.runq.touch(self.pid, kernel.proc_time(self.pid));
+        }
+        if let Some(next) = choose_next(&mut st) {
             if next != self.pid {
                 match self.yielder {
                     Some(core) => {
@@ -815,6 +913,54 @@ mod tests {
             });
             assert!(n > Nanos::ZERO, "{exec:?}");
         }
+    }
+
+    #[test]
+    fn run_queue_matches_kernel_scan_under_random_ops() {
+        // Drive the kernel directly with the same op mix the executor
+        // issues — clock advances on the scheduled minimum, zero-cost
+        // touches, and retirements — and assert the incremental queue
+        // answers every scheduling question exactly like the O(n) scan.
+        gray_toolbox::prop::check("run_queue_matches_scan", 40, |g| {
+            let mut kernel = Kernel::new(SimConfig::small().with_seed(g.u64(0..u64::MAX)));
+            let n = g.usize(1..12);
+            let mut active: Vec<usize> =
+                (0..n).map(|_| kernel.add_proc(kernel.max_time())).collect();
+            let mut rq = RunQueue::default();
+            rq.install(&active, &kernel);
+            for _ in 0..g.usize(5..80) {
+                let scan = kernel.next_runnable(&active);
+                assert_eq!(rq.min(), scan, "queue and scan disagree");
+                let Some(pid) = scan else { break };
+                match g.usize(0..10) {
+                    0 => {
+                        // Retirement (process finished).
+                        kernel.finish_proc(pid);
+                        active.retain(|&p| p != pid);
+                        rq.retire(pid);
+                    }
+                    1 => {
+                        // Zero-cost syscall: the clock does not move and
+                        // the heap must not grow a duplicate entry.
+                        let before = rq.heap.len();
+                        rq.touch(pid, kernel.proc_time(pid));
+                        assert_eq!(rq.heap.len(), before, "no-op touch grew the heap");
+                    }
+                    _ => {
+                        // Time-advancing syscall on the scheduled pid —
+                        // the only process whose clock may change.
+                        kernel.sys_compute(pid, GrayDuration::from_nanos(g.u64(0..5_000)));
+                        rq.touch(pid, kernel.proc_time(pid));
+                    }
+                }
+            }
+            // Drain: retire everything and the queue must empty out.
+            for &pid in &active {
+                kernel.finish_proc(pid);
+                rq.retire(pid);
+            }
+            assert_eq!(rq.min(), None);
+        });
     }
 
     #[test]

@@ -12,6 +12,8 @@ use graybox::os::GrayBoxOs;
 
 use crate::{DiskParams, ExecBackend, Sim, SimConfig};
 
+pub mod matrix;
+
 /// Builds a quiet (no timing noise) machine with `disks` independent
 /// small disks and enough CPU slack that `workers` concurrent probe
 /// workers genuinely overlap their disk waits (two slots per worker, the

@@ -96,21 +96,46 @@ pub fn score_fccd(oracle: &Oracle, records: &[TraceRecord]) -> FccdScore {
                 continue;
             }
         };
-        let truth_cached = match oracle.cached_fraction(unit) {
-            Ok(frac) => frac >= 0.5,
-            Err(_) => {
-                score.skipped += 1;
-                continue;
-            }
-        };
-        match (predicted_cached, truth_cached) {
-            (true, true) => score.true_positives += 1,
-            (true, false) => score.false_positives += 1,
-            (false, true) => score.false_negatives += 1,
-            (false, false) => score.true_negatives += 1,
-        }
+        tally(oracle, unit, predicted_cached, &mut score);
     }
     score
+}
+
+/// Joins `(path, predicted_cached)` verdicts directly against the
+/// oracle — the tracer-free scoring path.
+///
+/// The global tracer serializes captures process-wide, so host-parallel
+/// scenario cells cannot route verdicts through trace records. They
+/// don't need to: a [`graybox::fccd::Classified`] already carries the
+/// ranked verdicts, and this function scores them straight off the
+/// result value. Semantics are identical to [`score_fccd`] (same truth
+/// rule, same skip handling for unresolvable paths).
+pub fn score_fccd_verdicts<'a>(
+    oracle: &Oracle,
+    verdicts: impl IntoIterator<Item = (&'a str, bool)>,
+) -> FccdScore {
+    let mut score = FccdScore::default();
+    for (unit, predicted_cached) in verdicts {
+        tally(oracle, unit, predicted_cached, &mut score);
+    }
+    score
+}
+
+/// Joins one verdict against ground truth and tallies it.
+fn tally(oracle: &Oracle, unit: &str, predicted_cached: bool, score: &mut FccdScore) {
+    let truth_cached = match oracle.cached_fraction(unit) {
+        Ok(frac) => frac >= 0.5,
+        Err(_) => {
+            score.skipped += 1;
+            return;
+        }
+    };
+    match (predicted_cached, truth_cached) {
+        (true, true) => score.true_positives += 1,
+        (true, false) => score.false_positives += 1,
+        (false, true) => score.false_negatives += 1,
+        (false, false) => score.true_negatives += 1,
+    }
 }
 
 /// MAC's final availability estimate joined against known free memory.

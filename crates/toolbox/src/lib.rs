@@ -28,6 +28,7 @@ pub mod bench;
 pub mod cluster;
 pub mod mailbox;
 pub mod outlier;
+pub mod pool;
 pub mod prop;
 pub mod repository;
 pub mod rng;
@@ -39,10 +40,11 @@ pub mod trace;
 pub use cluster::{kmeans1d, two_means, Clustering};
 pub use mailbox::{Envelope, Mailbox, MailboxClient, Ticket};
 pub use outlier::{discard_outliers, mad, OutlierPolicy};
+pub use pool::{JobPanic, Pool};
 pub use repository::{ParamRepository, RepositoryError};
 pub use sampling::{Reservoir, StreamingRegression};
 pub use stats::{
-    correlation, linear_regression, paired_sign_test, percentile, Ewma, Log2Histogram, OnlineStats,
-    Summary,
+    correlation, linear_regression, paired_compare, paired_host_compare, paired_sign_test,
+    percentile, Ewma, Log2Histogram, OnlineStats, PairedHostReport, Summary,
 };
 pub use time::{Duration as GrayDuration, Nanos};

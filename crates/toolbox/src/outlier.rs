@@ -71,9 +71,27 @@ pub fn discard_outliers(data: &[f64], policy: OutlierPolicy) -> Vec<f64> {
     if data.len() < 3 {
         return data.to_vec();
     }
+    let (lo, hi) = bounds(data, policy);
+    data.iter()
+        .copied()
+        .filter(|&x| x >= lo && x <= hi)
+        .collect()
+}
+
+/// The inclusive `[lo, hi]` acceptance interval the policy draws around
+/// `data`. Exposed so *paired* measurements can test each series against
+/// its own interval without re-indexing the survivors (filtering the two
+/// series independently would misalign the pairs).
+///
+/// Fewer than 3 observations yield `(-inf, +inf)` — everything survives,
+/// matching [`discard_outliers`]' small-sample pass-through.
+pub fn bounds(data: &[f64], policy: OutlierPolicy) -> (f64, f64) {
+    if data.len() < 3 {
+        return (f64::NEG_INFINITY, f64::INFINITY);
+    }
     let mut sorted: Vec<f64> = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("outlier filter rejects NaN"));
-    let (lo, hi) = match policy {
+    match policy {
         OutlierPolicy::Iqr { k } => {
             let q1 = percentile(&sorted, 25.0);
             let q3 = percentile(&sorted, 75.0);
@@ -85,11 +103,7 @@ pub fn discard_outliers(data: &[f64], policy: OutlierPolicy) -> Vec<f64> {
             let spread = mad(&sorted);
             (med - k * spread, med + k * spread)
         }
-    };
-    data.iter()
-        .copied()
-        .filter(|&x| x >= lo && x <= hi)
-        .collect()
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,9 @@ pub mod keys {
     /// Most probe-needing queries the daemon admits per serve tick (the
     /// AIMD recovery ceiling; the live budget moves below it).
     pub const GBD_ADMISSION_BUDGET: &str = "gbd.admission_budget";
+    /// Most entries the daemon's inference cache holds; the oldest-
+    /// stamped entries are evicted when an insert would exceed it.
+    pub const GBD_CACHE_CAPACITY: &str = "gbd.cache_capacity";
 }
 
 /// Errors produced by repository operations.

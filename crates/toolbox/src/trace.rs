@@ -166,7 +166,8 @@ pub enum TraceEvent {
     CacheAccess {
         /// The cache key (a query fingerprint).
         key: String,
-        /// What happened: `hit`, `miss`, `expired`, `churned`, `reinfer`.
+        /// What happened: `hit`, `miss`, `expired`, `churned`, `reinfer`,
+        /// `evicted` (capacity bound displaced the oldest entry).
         outcome: &'static str,
     },
 }

@@ -1,0 +1,108 @@
+//! Host-parallel scenario-matrix determinism (`simos::scenario::matrix`
+//! through `gray_toolbox::pool`).
+//!
+//! The matrix's contract is that the *host* worker count is invisible to
+//! the *simulated* results: every cell is a self-seeded virtual-time
+//! simulation sharing nothing mutable with its siblings, so the scored
+//! grid — every digest, every score, every makespan — must be identical
+//! for 1, 2, or 8 workers. These PROP_SEED-replayable properties pin
+//! that, plus the failure half of the contract: a panicking cell becomes
+//! a structured per-cell error in its own slot (index and message
+//! preserved, grid order intact) while its siblings complete normally
+//! under every worker count.
+//!
+//! Replay a failing case from the harness banner:
+//!
+//! ```text
+//! PROP_SEED=0x<seed> cargo test -q --test matrix_determinism
+//! PROP_CASES=20 cargo test -q --test matrix_determinism
+//! ```
+
+use graybox_icl::simos::scenario::matrix::{grid_digest, run_grid, MatrixConfig, WorkloadMix};
+use graybox_icl::simos::Platform;
+use graybox_icl::toolbox::pool::Pool;
+use graybox_icl::toolbox::prop::{check, Gen};
+
+/// A small random grid: 1–2 platforms, random aging/noise/mix axes, tiny
+/// corpus. 2–8 cells, so a case stays cheap while still crossing axes.
+fn draw_config(g: &mut Gen) -> MatrixConfig {
+    let mut platforms = vec![g.select(&[
+        Platform::LinuxLike,
+        Platform::NetBsdLike,
+        Platform::SolarisLike,
+    ])];
+    if g.bool() {
+        platforms.push(Platform::LinuxLike);
+        platforms.dedup();
+    }
+    MatrixConfig {
+        platforms,
+        aging: if g.bool() {
+            vec![false, true]
+        } else {
+            vec![g.bool()]
+        },
+        noise_amps: vec![g.f64(0.0..0.2)],
+        mixes: vec![g.select(&[WorkloadMix::ProbeHeavy, WorkloadMix::ChurnHeavy])],
+        fleet_sizes: vec![g.usize(2..5)],
+        seed: g.u64(0..u64::MAX),
+        disks: 2,
+        files_per_disk: 2,
+        file_bytes: 16 << 10,
+    }
+}
+
+#[test]
+fn grid_is_worker_count_invariant_for_random_configs() {
+    check("matrix_worker_invariance", 6, |g: &mut Gen| {
+        let cfg = draw_config(g);
+        let serial = run_grid(&cfg, &Pool::with_workers(1));
+        assert_eq!(serial.len(), cfg.cells());
+        for workers in [2, 8] {
+            let parallel = run_grid(&cfg, &Pool::with_workers(workers));
+            assert_eq!(serial, parallel, "{workers}-worker grid diverged");
+            assert_eq!(grid_digest(&serial), grid_digest(&parallel));
+        }
+        for cell in &serial {
+            let c = cell.as_ref().expect("no cell panics in this property");
+            assert!(c.virtual_ns > 0, "cells must consume virtual time");
+        }
+    });
+}
+
+#[test]
+fn injected_panic_is_contained_to_its_cell() {
+    check("matrix_panic_containment", 4, |g: &mut Gen| {
+        let cfg = draw_config(g);
+        let specs = cfg.expand();
+        let victim = g.usize(0..specs.len());
+        let clean = run_grid(&cfg, &Pool::with_workers(1));
+        for workers in [1, 2, 8] {
+            let got = Pool::with_workers(workers).map(specs.clone(), |idx, spec| {
+                if idx == victim {
+                    panic!("injected failure in cell {idx}");
+                }
+                spec.run()
+            });
+            assert_eq!(got.len(), specs.len(), "grid order and length intact");
+            for (idx, slot) in got.iter().enumerate() {
+                if idx == victim {
+                    let err = slot.as_ref().expect_err("victim cell must error");
+                    assert_eq!(err.index, victim);
+                    assert!(
+                        err.message
+                            .contains(&format!("injected failure in cell {idx}")),
+                        "panic message preserved: {}",
+                        err.message
+                    );
+                } else {
+                    assert_eq!(
+                        slot.as_ref().expect("sibling cells unaffected"),
+                        clean[idx].as_ref().expect("clean run has no panics"),
+                        "sibling cell {idx} diverged under {workers} workers"
+                    );
+                }
+            }
+        }
+    });
+}
