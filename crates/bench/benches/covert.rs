@@ -1,0 +1,5 @@
+//! `cargo bench --bench covert` — see `gray_bench::suites::covert`.
+
+fn main() {
+    gray_bench::suites::run_standalone(gray_bench::suites::covert::register);
+}

@@ -5,6 +5,7 @@
 
 pub mod ablations;
 pub mod accuracy;
+pub mod covert;
 pub mod daemon;
 pub mod figures;
 pub mod fleet;
@@ -21,7 +22,7 @@ use std::time::Duration;
 pub type Register = fn(&mut Harness);
 
 /// All suites, in baseline-file order: `(target name, register fn)`.
-pub const ALL: [(&str, Register); 9] = [
+pub const ALL: [(&str, Register); 10] = [
     ("toolbox", toolbox::register),
     ("substrate", substrate::register),
     ("icl", icl::register),
@@ -31,6 +32,7 @@ pub const ALL: [(&str, Register); 9] = [
     ("daemon", daemon::register),
     ("fleet", fleet::register),
     ("matrix", matrix::register),
+    ("covert", covert::register),
 ];
 
 /// Runs one suite standalone with the `cargo bench` timing budget — the

@@ -8,7 +8,7 @@
 //! probably behaves with run-time *observations* — chiefly the timing of
 //! carefully chosen probes.
 //!
-//! # The three ICLs
+//! # The ICLs
 //!
 //! - [`fccd`] — the **File-Cache Content Detector**: infers which parts of
 //!   which files are resident in the OS file cache by timing one-byte read
@@ -20,6 +20,9 @@
 //! - [`mac`] — the **Memory-based Admission Controller**: infers the amount
 //!   of currently available physical memory by timed page-touch probing and
 //!   admits memory allocations only when they fit.
+//! - [`wbd`] — the **Writeback/Dirty-page Detector** (this reproduction's
+//!   extension of the methodology to the write path): infers the dirty
+//!   residue and writeback progress from the cost of timed `sync` calls.
 //!
 //! # The gray-box OS surface
 //!
@@ -58,6 +61,7 @@ pub mod mock;
 pub mod observe;
 pub mod os;
 pub mod technique;
+pub mod wbd;
 
 pub use compose::ComposedOrderer;
 pub use fccd::{Fccd, FccdParams};
@@ -66,3 +70,4 @@ pub use mac::{GbAlloc, Mac, MacParams};
 pub use observe::PassiveObserver;
 pub use os::{GrayBoxOs, OsError, OsResult};
 pub use technique::{Technique, TechniqueInventory};
+pub use wbd::{Wbd, WbdCalibration, WbdParams};

@@ -34,6 +34,9 @@ pub struct MockCosts {
     pub swap_in: GrayDuration,
     /// Cost of a metadata operation (`stat`, `open`, directory ops).
     pub meta: GrayDuration,
+    /// Cost `sync` pays per dirty file page written back (on top of one
+    /// `meta` charge) — the observable side effect the WBD infers from.
+    pub sync_page: GrayDuration,
 }
 
 impl Default for MockCosts {
@@ -45,6 +48,7 @@ impl Default for MockCosts {
             mem_zero: GrayDuration::from_micros(4),
             swap_in: GrayDuration::from_millis(6),
             meta: GrayDuration::from_micros(10),
+            sync_page: GrayDuration::from_millis(2),
         }
     }
 }
@@ -82,6 +86,8 @@ struct Inner {
     /// LRU queue of (ino, page) with membership set.
     cache_lru: VecDeque<(u64, u64)>,
     cache_set: HashMap<(u64, u64), ()>,
+    /// Dirty (ino, page) pairs: written but not yet synced.
+    dirty_set: HashMap<(u64, u64), ()>,
     cache_capacity_pages: usize,
     regions: HashMap<u64, Region>,
     next_region: u64,
@@ -134,6 +140,7 @@ impl MockOs {
                 next_fd: 3,
                 cache_lru: VecDeque::new(),
                 cache_set: HashMap::new(),
+                dirty_set: HashMap::new(),
                 cache_capacity_pages,
                 regions: HashMap::new(),
                 next_region: 1,
@@ -165,11 +172,18 @@ impl MockOs {
         self.inner.borrow().cache_set.len()
     }
 
+    /// Test oracle: number of dirty file pages awaiting writeback.
+    pub fn dirty_file_pages(&self) -> usize {
+        self.inner.borrow().dirty_set.len()
+    }
+
     /// Drops every cached file page (a "flush" between experiments).
+    /// Dirty pages are discarded, not written back.
     pub fn flush_cache(&self) {
         let mut inner = self.inner.borrow_mut();
         inner.cache_lru.clear();
         inner.cache_set.clear();
+        inner.dirty_set.clear();
     }
 
     /// Pre-loads a page range of a file into the cache without advancing
@@ -390,6 +404,7 @@ impl GrayBoxOs for MockOs {
             if !inner.cache_touch(ino, page) {
                 inner.cache_insert(ino, page);
             }
+            inner.dirty_set.insert((ino, page), ());
             cost += self.costs.cache_hit;
         }
         self.charge(&mut inner, cost);
@@ -408,6 +423,11 @@ impl GrayBoxOs for MockOs {
     }
 
     fn sync(&self) -> OsResult<()> {
+        let mut inner = self.inner.borrow_mut();
+        let dirty = inner.dirty_set.len() as u64;
+        inner.dirty_set.clear();
+        let cost = self.costs.meta + self.costs.sync_page * dirty;
+        self.charge(&mut inner, cost);
         Ok(())
     }
 
@@ -499,6 +519,7 @@ impl GrayBoxOs for MockOs {
         let file = inner.files.remove(path).ok_or(OsError::NotFound)?;
         inner.cache_lru.retain(|&(ino, _)| ino != file.ino);
         inner.cache_set.retain(|&(ino, _), _| ino != file.ino);
+        inner.dirty_set.retain(|&(ino, _), _| ino != file.ino);
         let (dir, name) = MockOs::parent_of(path)?;
         let (dir, name) = (dir.to_string(), name.to_string());
         if let Some(parent) = inner.dirs.get_mut(&dir) {

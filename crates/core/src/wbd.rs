@@ -1,0 +1,304 @@
+//! WBD — the Writeback/Dirty-page Detector (a fourth ICL).
+//!
+//! The paper's ICLs infer *read-side* cache state (FCCD), layout (FLDC),
+//! and memory pressure (MAC). WBD extends the same gray-box methodology to
+//! the *write* path: it infers how many dirty pages the OS is holding and
+//! whether the periodic writeback daemon has flushed them, without any
+//! kernel interface exposing either.
+//!
+//! # Gray-box knowledge
+//!
+//! Two coarse assumptions, true of every target platform: writes are
+//! buffered (a `write` dirties cached pages and returns fast), and `sync`
+//! must push every dirty page to disk before returning — so **the cost of
+//! `sync` is proportional to the dirty residue**. That proportionality is
+//! the side channel: one timed `sync` reveals approximately how many dirty
+//! pages existed the instant it was issued.
+//!
+//! # Method
+//!
+//! WBD first *calibrates*: it times `sync` on a drained system (the
+//! intercept), then dirties a known number of scratch-file pages and times
+//! `sync` again (the slope). The per-page cost learned this way converts
+//! any later timed `sync` into an estimated dirty-page count. Like FCCD's
+//! probes, the measurement is destructive — the timed `sync` flushes the
+//! very residue it measures (the Heisenberg effect, write-side edition) —
+//! so callers sample sparsely and treat each estimate as a snapshot.
+//!
+//! Calibration is approximate by design: creating the scratch file may
+//! dirty metadata pages too, so the learned slope can be slightly high.
+//! Estimates are rounded to the nearest page and should be read as "about
+//! k pages", which is exactly enough for the covert-channel receiver and
+//! for flushed/not-flushed verdicts.
+
+use gray_toolbox::trace::{self, TraceEvent};
+use gray_toolbox::GrayDuration;
+
+use crate::os::{GrayBoxOs, OsResult};
+use crate::technique::{Technique, TechniqueInventory};
+
+/// Tuning parameters for the detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WbdParams {
+    /// Path of the scratch file calibration creates, dirties, and unlinks.
+    pub scratch_path: String,
+    /// Number of scratch pages dirtied per calibration round. More pages
+    /// average out fixed per-sync overhead but write more.
+    pub calib_pages: u64,
+    /// Calibration rounds; the minimum per-page cost across rounds is kept
+    /// (the least-disturbed round, mirroring FCCD's min-over-rounds).
+    pub calib_rounds: u32,
+    /// Floor for the learned per-page cost, so a degenerate calibration
+    /// (e.g. a backend with free syncs) cannot divide by zero downstream.
+    pub min_page_cost: GrayDuration,
+}
+
+impl Default for WbdParams {
+    fn default() -> Self {
+        WbdParams {
+            scratch_path: "/.wbd_scratch".to_string(),
+            calib_pages: 32,
+            calib_rounds: 1,
+            min_page_cost: GrayDuration::from_nanos(1),
+        }
+    }
+}
+
+/// The learned cost model of `sync`: intercept and slope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WbdCalibration {
+    /// Cost of a `sync` with no dirty residue (the intercept).
+    pub clean_sync: GrayDuration,
+    /// Marginal cost per dirty page (the slope); never zero.
+    pub page_cost: GrayDuration,
+}
+
+impl WbdCalibration {
+    /// Converts an observed `sync` cost into an estimated dirty-page
+    /// count: excess over the clean intercept, divided by the per-page
+    /// slope, rounded to the nearest page. A `sync` at or below the
+    /// intercept estimates zero.
+    pub fn estimate_pages(&self, observed: GrayDuration) -> u64 {
+        let excess = observed.saturating_sub(self.clean_sync).as_nanos();
+        let per = self.page_cost.as_nanos().max(1);
+        (excess + per / 2) / per
+    }
+}
+
+/// The Writeback/Dirty-page Detector.
+///
+/// See the [module documentation](self) for the method. Like the other
+/// ICLs, it is generic over [`GrayBoxOs`] and learns only from timing.
+pub struct Wbd<'a, O: GrayBoxOs> {
+    os: &'a O,
+    params: WbdParams,
+}
+
+impl<'a, O: GrayBoxOs> Wbd<'a, O> {
+    /// Creates a detector over the given OS with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (zero calibration pages
+    /// or rounds).
+    pub fn new(os: &'a O, params: WbdParams) -> Self {
+        assert!(params.calib_pages > 0, "at least one calibration page");
+        assert!(params.calib_rounds > 0, "at least one calibration round");
+        assert!(
+            params.min_page_cost > GrayDuration::ZERO,
+            "page-cost floor must be positive"
+        );
+        Wbd { os, params }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &WbdParams {
+        &self.params
+    }
+
+    /// One timed `sync` — the raw probe. Destructive: whatever residue it
+    /// measures is flushed by the measurement.
+    pub fn sync_cost(&self) -> OsResult<GrayDuration> {
+        let (res, elapsed) = self.os.timed(|os| os.sync());
+        res?;
+        Ok(elapsed)
+    }
+
+    /// Learns the `sync` cost model: drains existing residue, times a
+    /// clean `sync` (intercept), then repeatedly dirties
+    /// [`WbdParams::calib_pages`] scratch pages and times the `sync` that
+    /// flushes them, keeping the minimum per-page cost (slope).
+    pub fn calibrate(&self) -> OsResult<WbdCalibration> {
+        self.os.sync()?;
+        let clean_sync = self.sync_cost()?;
+        let page_size = self.os.page_size();
+        let mut best: Option<GrayDuration> = None;
+        for _ in 0..self.params.calib_rounds {
+            let fd = self.os.create(&self.params.scratch_path)?;
+            self.os
+                .write_fill(fd, 0, self.params.calib_pages * page_size)?;
+            let dirty_sync = self.sync_cost()?;
+            self.os.close(fd)?;
+            self.os.unlink(&self.params.scratch_path)?;
+            let per = dirty_sync.saturating_sub(clean_sync) / self.params.calib_pages;
+            best = Some(match best {
+                None => per,
+                Some(b) => b.min(per),
+            });
+        }
+        let page_cost = best
+            .expect("calib_rounds >= 1")
+            .max(self.params.min_page_cost);
+        trace::emit_with(|| TraceEvent::Estimated {
+            quantity: "wbd.page_cost_ns",
+            value: page_cost.as_nanos() as f64,
+        });
+        Ok(WbdCalibration {
+            clean_sync,
+            page_cost,
+        })
+    }
+
+    /// Estimates the system's current dirty residue in pages with one
+    /// timed `sync` (destructive — see [`Wbd::sync_cost`]).
+    pub fn residue_pages(&self, cal: &WbdCalibration) -> OsResult<u64> {
+        let observed = self.sync_cost()?;
+        let estimate = cal.estimate_pages(observed);
+        trace::emit_with(|| TraceEvent::Estimated {
+            quantity: "wbd.dirty_pages",
+            value: estimate as f64,
+        });
+        Ok(estimate)
+    }
+
+    /// Whether a write of `expected_pages` pages has already been flushed
+    /// (by the writeback daemon or anyone else): true when the estimated
+    /// residue is below half the expected count. Destructive — the probe
+    /// itself flushes whatever residue remained.
+    pub fn flushed(&self, cal: &WbdCalibration, expected_pages: u64) -> OsResult<bool> {
+        let residue = self.residue_pages(cal)?;
+        trace::emit_with(|| TraceEvent::ThresholdCrossed {
+            what: "wbd.flushed",
+            value: residue as f64,
+            threshold: expected_pages as f64 / 2.0,
+        });
+        Ok(residue * 2 < expected_pages)
+    }
+}
+
+/// How WBD maps onto the paper's technique taxonomy (Table 2).
+pub fn techniques() -> TechniqueInventory {
+    TechniqueInventory::new(
+        "WBD",
+        &[
+            (
+                Technique::AlgorithmicKnowledge,
+                "sync cost grows with dirty residue",
+            ),
+            (Technique::MonitorOutputs, "Time whole-system syncs"),
+            (
+                Technique::StatisticalMethods,
+                "Linear fit: intercept + slope",
+            ),
+            (Technique::Microbenchmarks, "Scratch-file slope calibration"),
+            (Technique::InsertProbes, "Timed sync as probe"),
+            (Technique::KnownState, "Probe drains residue to zero"),
+            (Technique::Feedback, "None"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::{MockCosts, MockOs};
+    use crate::os::GrayBoxOsExt;
+
+    fn small_params() -> WbdParams {
+        WbdParams {
+            calib_pages: 16,
+            ..WbdParams::default()
+        }
+    }
+
+    #[test]
+    fn calibration_learns_the_per_page_sync_cost() {
+        let os = MockOs::new(1 << 20, 16);
+        let wbd = Wbd::new(&os, small_params());
+        let cal = wbd.calibrate().unwrap();
+        // The mock charges exactly `meta + sync_page * dirty`, so the
+        // learned slope is exact and the intercept is one meta charge.
+        assert_eq!(cal.page_cost, MockCosts::default().sync_page);
+        assert_eq!(cal.clean_sync, MockCosts::default().meta);
+    }
+
+    #[test]
+    fn residue_estimates_the_dirty_page_count() {
+        let os = MockOs::new(1 << 20, 16);
+        let wbd = Wbd::new(&os, small_params());
+        let cal = wbd.calibrate().unwrap();
+        os.write_file("/f", &vec![0u8; 8 * 4096]).unwrap();
+        assert_eq!(os.dirty_file_pages(), 8);
+        assert_eq!(wbd.residue_pages(&cal).unwrap(), 8);
+        // The probe was destructive: the residue it measured is gone.
+        assert_eq!(os.dirty_file_pages(), 0);
+        assert_eq!(wbd.residue_pages(&cal).unwrap(), 0);
+    }
+
+    #[test]
+    fn flushed_flips_once_the_residue_is_drained() {
+        let os = MockOs::new(1 << 20, 16);
+        let wbd = Wbd::new(&os, small_params());
+        let cal = wbd.calibrate().unwrap();
+        os.write_file("/f", &vec![0u8; 8 * 4096]).unwrap();
+        assert!(!wbd.flushed(&cal, 8).unwrap(), "residue still present");
+        assert!(wbd.flushed(&cal, 8).unwrap(), "probe drained it");
+    }
+
+    #[test]
+    fn estimate_rounds_to_the_nearest_page() {
+        let cal = WbdCalibration {
+            clean_sync: GrayDuration::from_micros(10),
+            page_cost: GrayDuration::from_millis(2),
+        };
+        let base = GrayDuration::from_micros(10);
+        assert_eq!(cal.estimate_pages(GrayDuration::ZERO), 0);
+        assert_eq!(cal.estimate_pages(base), 0);
+        assert_eq!(cal.estimate_pages(base + GrayDuration::from_millis(2)), 1);
+        assert_eq!(cal.estimate_pages(base + GrayDuration::from_millis(3)), 2);
+        assert_eq!(cal.estimate_pages(base + GrayDuration::from_millis(20)), 10);
+    }
+
+    #[test]
+    fn degenerate_calibration_keeps_a_positive_slope() {
+        // Free syncs (zero per-page cost) must not yield a zero slope.
+        let costs = MockCosts {
+            sync_page: GrayDuration::ZERO,
+            ..MockCosts::default()
+        };
+        let os = MockOs::with_costs(1 << 20, 16, costs);
+        let wbd = Wbd::new(&os, small_params());
+        let cal = wbd.calibrate().unwrap();
+        assert_eq!(cal.page_cost, small_params().min_page_cost);
+        assert_eq!(cal.estimate_pages(cal.clean_sync), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one calibration page")]
+    fn inconsistent_params_panic() {
+        let os = MockOs::new(16, 16);
+        let params = WbdParams {
+            calib_pages: 0,
+            ..WbdParams::default()
+        };
+        let _ = Wbd::new(&os, params);
+    }
+
+    #[test]
+    fn techniques_cover_probes_and_known_state() {
+        let inv = techniques();
+        assert!(inv.uses(Technique::InsertProbes));
+        assert!(inv.uses(Technique::KnownState));
+        assert!(!inv.uses(Technique::Feedback));
+    }
+}

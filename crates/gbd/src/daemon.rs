@@ -34,7 +34,15 @@ use gray_toolbox::Nanos;
 use graybox::fccd::{classify_ranks, FileRank};
 use graybox::fldc::Fldc;
 use graybox::mac::Mac;
+use graybox::os::GrayBoxOs;
+use graybox::wbd::{Wbd, WbdParams};
 use simos::Sim;
+
+/// The verdict key WBD residue inferences publish. FCCD verdicts key on
+/// file paths; WBD's single system-wide dirty/clean bit keys on this
+/// pseudo-path instead, so the churn-aware staleness policy joins WBD
+/// entries against fresh WBD passes with no policy changes.
+pub const WBD_DIRTY_VERDICT: &str = "wbd:dirty";
 
 use crate::admission::QueryAdmission;
 use crate::cache::{CacheEntry, InferenceCache, Lookup, StalenessPolicy};
@@ -71,6 +79,14 @@ pub enum Query {
         /// The directory to order.
         dir: String,
     },
+    /// WBD: estimate the system-wide dirty-page residue via one timed
+    /// `sync`. The measurement is destructive (the `sync` flushes the
+    /// residue it measures), so the cached answer is a snapshot; a later
+    /// pass that contradicts it churns it out like any FCCD verdict.
+    WbdResidue {
+        /// Scratch pages dirtied per calibration round.
+        calib_pages: u64,
+    },
 }
 
 impl Query {
@@ -94,6 +110,7 @@ impl Query {
                 format!("mac.alloc:{min}:{max}:{multiple}")
             }
             Query::FldcOrder { dir } => format!("fldc:{dir}"),
+            Query::WbdResidue { calib_pages } => format!("wbd.residue:{calib_pages}"),
         }
     }
 
@@ -137,6 +154,11 @@ pub enum Reply {
     Layout {
         /// Paths in predicted layout order.
         order: Vec<String>,
+    },
+    /// WBD dirty-page residue estimate (0 = writeback has caught up).
+    Residue {
+        /// Estimated dirty pages at the instant of the timed `sync`.
+        pages: u64,
     },
     /// Load-shed by query admission; retry next tick.
     Shed,
@@ -472,29 +494,37 @@ impl Gbd {
             }
         }
 
-        // MAC estimates and FLDC orders, one by one.
+        // MAC estimates, FLDC orders, and WBD residues, one by one.
         for item in &other_items {
-            let reply = match &item.query {
+            let (reply, verdicts) = match &item.query {
                 Query::MacAvailable { ceiling } => {
                     let params = self.cfg.mac.clone();
                     let ceiling = *ceiling;
-                    match sim.run_one(move |os| Mac::new(os, params).available_estimate(ceiling)) {
+                    let reply = match sim
+                        .run_one(move |os| Mac::new(os, params).available_estimate(ceiling))
+                    {
                         Ok(bytes) => Reply::Available { bytes },
                         Err(e) => Reply::Failed(e.to_string()),
-                    }
+                    };
+                    (reply, BTreeMap::new())
                 }
                 Query::FldcOrder { dir } => {
                     let dir = dir.clone();
-                    match sim.run_one(move |os| Fldc::new(os).order_directory(&dir)) {
+                    let reply = match sim.run_one(move |os| Fldc::new(os).order_directory(&dir)) {
                         Ok(ranks) => Reply::Layout {
                             order: ranks.into_iter().map(|r| r.path).collect(),
                         },
                         Err(e) => Reply::Failed(e.to_string()),
-                    }
+                    };
+                    (reply, BTreeMap::new())
                 }
+                Query::WbdResidue { calib_pages } => self.execute_wbd(sim, *calib_pages),
                 _ => unreachable!("grouped above"),
             };
-            self.finish_item(sim, item, reply, BTreeMap::new());
+            for (key, v) in &verdicts {
+                fresh_verdicts.insert(key.clone(), *v);
+            }
+            self.finish_item(sim, item, reply, verdicts);
         }
 
         // Phase 4: observed churn. Entries the fresh verdicts contradict
@@ -511,22 +541,34 @@ impl Gbd {
                     outcome: "churned",
                 });
                 if admitted < self.admission.budget() {
-                    admitted += 1;
-                    self.stats.admitted += 1;
-                    self.stats.reinfers += 1;
-                    tick.reinfers += 1;
                     let item = ExecItem {
                         key: key.clone(),
                         query: entry.query,
                         waiters: Vec::new(),
                     };
-                    let mut outcomes = self.execute_fccd(sim, std::slice::from_ref(&item));
-                    let (reply, verdicts) = outcomes.pop().expect("one outcome per item");
-                    trace::emit_with(|| TraceEvent::CacheAccess {
-                        key: key.clone(),
-                        outcome: "reinfer",
-                    });
-                    self.finish_item(sim, &item, reply, verdicts);
+                    // Re-infer by the entry's own query type. Only
+                    // verdict-bearing inferences can be contradicted, so
+                    // anything else stays evicted until re-queried.
+                    let outcome = match &item.query {
+                        Query::FccdClassify { .. } => {
+                            self.execute_fccd(sim, std::slice::from_ref(&item)).pop()
+                        }
+                        Query::WbdResidue { calib_pages } => {
+                            Some(self.execute_wbd(sim, *calib_pages))
+                        }
+                        _ => None,
+                    };
+                    if let Some((reply, verdicts)) = outcome {
+                        admitted += 1;
+                        self.stats.admitted += 1;
+                        self.stats.reinfers += 1;
+                        tick.reinfers += 1;
+                        trace::emit_with(|| TraceEvent::CacheAccess {
+                            key: key.clone(),
+                            outcome: "reinfer",
+                        });
+                        self.finish_item(sim, &item, reply, verdicts);
+                    }
                 }
             }
         }
@@ -638,6 +680,39 @@ impl Gbd {
                     .collect(),
             }
         })
+    }
+
+    /// Runs one WBD residue estimate. The first timed `sync` both observes
+    /// and drains the system's dirty residue, so it runs *before*
+    /// calibration — whose own drain `sync` would otherwise flush the very
+    /// pages the query asks about. Calibration then learns the clean
+    /// intercept and per-page slope on the now-clean system, and the first
+    /// observation converts to pages after the fact. Publishes the
+    /// [`WBD_DIRTY_VERDICT`] verdict, so a cached dirty/clean answer is
+    /// churned out when a later pass contradicts it.
+    fn execute_wbd(&mut self, sim: &mut Sim, calib_pages: u64) -> (Reply, BTreeMap<String, bool>) {
+        let params = WbdParams {
+            calib_pages: calib_pages.max(1),
+            ..WbdParams::default()
+        };
+        let outcome = sim.run_one(move |os| -> graybox::os::OsResult<u64> {
+            let wbd = Wbd::new(os, params);
+            let observed = wbd.sync_cost()?;
+            let cal = wbd.calibrate()?;
+            // Unlinking the calibration scratch file dirties metadata
+            // pages *after* calibration's last sync; drain them so the
+            // daemon's own probe is not the residue the next one finds.
+            os.sync()?;
+            Ok(cal.estimate_pages(observed))
+        });
+        match outcome {
+            Ok(pages) => {
+                let mut verdicts = BTreeMap::new();
+                verdicts.insert(WBD_DIRTY_VERDICT.to_string(), pages > 0);
+                (Reply::Residue { pages }, verdicts)
+            }
+            Err(e) => (Reply::Failed(e.to_string()), BTreeMap::new()),
+        }
     }
 
     /// Posts `reply` to every waiter of `item` and caches it if eligible.

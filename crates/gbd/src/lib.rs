@@ -46,7 +46,9 @@ use graybox::mac::MacParams;
 
 pub use admission::QueryAdmission;
 pub use cache::{CacheEntry, ChurnAware, Disposition, InferenceCache, StalenessPolicy, TtlOnly};
-pub use daemon::{Gbd, GbdClient, GbdStats, Query, Reply, Response, Tenant, TickStats};
+pub use daemon::{
+    Gbd, GbdClient, GbdStats, Query, Reply, Response, Tenant, TickStats, WBD_DIRTY_VERDICT,
+};
 
 use std::fmt;
 
@@ -282,6 +284,55 @@ mod tests {
         assert_eq!(ra2.reply, ra.reply);
         assert_eq!(gbd.stats().hits, 1);
         assert_eq!(gbd.stats().coalesced, 1);
+    }
+
+    #[test]
+    fn wbd_residue_entries_are_churned_by_contradicting_passes() {
+        use graybox::os::GrayBoxOs;
+        let cfg = small_cfg();
+        let policy = cfg.churn_policy();
+        let mut gbd = Gbd::new(cfg, Box::new(policy));
+        let mut sim = scenario::daemon_machine(2, 4);
+        let t = gbd.register_tenant("t").unwrap();
+
+        // A tenant-side workload dirties pages nobody syncs.
+        sim.run_one(|os| {
+            let page = os.page_size();
+            let fd = os.create("/dirty").unwrap();
+            os.write_fill(fd, 0, 16 * page).unwrap();
+            os.close(fd).unwrap();
+        });
+
+        // Tick 1: the residue query sees the dirty pages (and, the probe
+        // being a timed sync, drains them). The answer is cached with its
+        // dirty verdict.
+        let q = Query::WbdResidue { calib_pages: 8 };
+        let t1 = t.submit(q.clone());
+        gbd.serve(&mut sim);
+        let r1 = t.take(t1).expect("served");
+        let Reply::Residue { pages } = r1.reply else {
+            panic!("expected residue, got {:?}", r1.reply);
+        };
+        assert!(pages > 0, "dirty residue visible to the first pass");
+
+        // Tick 2: a residue query with a *different* cache key runs fresh
+        // on the now-clean system and publishes the contradicting verdict;
+        // the churn-aware policy evicts the stale entry and re-infers it.
+        let t2 = t.submit(Query::WbdResidue { calib_pages: 4 });
+        let tick = gbd.serve(&mut sim);
+        let r2 = t.take(t2).expect("served");
+        assert_eq!(r2.reply, Reply::Residue { pages: 0 });
+        assert_eq!(tick.reinfers, 1);
+        assert_eq!(gbd.stats().invalidated, 1);
+
+        // Tick 3: the original query hits the cache with the re-inferred
+        // clean answer, not the stale dirty one.
+        let t3 = t.submit(q);
+        let tick = gbd.serve(&mut sim);
+        assert_eq!((tick.hits, tick.executed), (1, 0));
+        let r3 = t.take(t3).expect("served");
+        assert!(r3.from_cache);
+        assert_eq!(r3.reply, Reply::Residue { pages: 0 });
     }
 
     #[test]

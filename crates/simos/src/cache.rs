@@ -484,12 +484,17 @@ impl PageCache {
         out
     }
 
-    /// All dirty pages currently resident (for `sync`).
+    /// All dirty pages currently resident (for `sync` and the flusher).
+    /// Sorted: the entry table is a HashMap, and the write-back order
+    /// decides seek-dependent disk costs, which must be deterministic.
     pub fn dirty_pages(&self) -> Vec<PageId> {
-        self.pools
+        let mut out: Vec<PageId> = self
+            .pools
             .iter()
             .flat_map(|p| p.entries.iter().filter(|(_, e)| e.dirty).map(|(id, _)| *id))
-            .collect()
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Total resident pages.

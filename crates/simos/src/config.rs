@@ -237,6 +237,53 @@ impl ExecBackend {
     }
 }
 
+/// Periodic writeback ("flusher daemon") parameters.
+///
+/// Real kernels run a background daemon (Linux's `bdflush`/`kupdate`,
+/// BSD's `syncer`) that walks dirty pages and writes them back on a
+/// fixed period. The simulated flusher is charged **on the virtual
+/// clock**: its I/O occupies the disks' own FCFS timelines (so
+/// foreground requests queue behind it — the observable side effect),
+/// and epochs fire deterministically when the first process whose local
+/// clock has crossed an epoch boundary enters the kernel. Disabled by
+/// default so existing scenarios are byte-for-byte unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WritebackParams {
+    /// Whether the periodic flusher runs at all.
+    pub enabled: bool,
+    /// Flush period: one epoch every `interval` of virtual time.
+    pub interval: GrayDuration,
+    /// Maximum dirty *file* pages written back per epoch (kupdate-style
+    /// bounded sweep). Anonymous pages are the swap path's business.
+    pub max_pages_per_epoch: u64,
+}
+
+impl Default for WritebackParams {
+    fn default() -> Self {
+        WritebackParams::disabled()
+    }
+}
+
+impl WritebackParams {
+    /// No flusher: dirty pages persist until `gb_sync` or eviction.
+    pub fn disabled() -> Self {
+        WritebackParams {
+            enabled: false,
+            interval: GrayDuration::from_millis(500),
+            max_pages_per_epoch: 64,
+        }
+    }
+
+    /// A flusher with the given period and the default per-epoch bound.
+    pub fn every(interval: GrayDuration) -> Self {
+        WritebackParams {
+            enabled: true,
+            interval,
+            max_pages_per_epoch: 64,
+        }
+    }
+}
+
 /// File-system layout parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FsParams {
@@ -292,6 +339,8 @@ pub struct SimConfig {
     pub fs: FsParams,
     /// Maximum readahead window, in pages.
     pub readahead_pages: u64,
+    /// Periodic dirty-page writeback (off by default).
+    pub writeback: WritebackParams,
     /// Master RNG seed (noise, procedural content).
     pub seed: u64,
     /// Executor backend for multiprogrammed runs (virtual time is
@@ -319,6 +368,7 @@ impl SimConfig {
             noise: NoiseParams::default(),
             fs: FsParams::default(),
             readahead_pages: 32,
+            writeback: WritebackParams::disabled(),
             seed: 0xA5A5_5A5A,
             exec: ExecBackend::env_default(),
             coro_stack_bytes: 512 << 10,
@@ -340,6 +390,7 @@ impl SimConfig {
             noise: NoiseParams::default(),
             fs: FsParams::default(),
             readahead_pages: 32,
+            writeback: WritebackParams::disabled(),
             seed: 0xA5A5_5A5A,
             exec: ExecBackend::env_default(),
             coro_stack_bytes: 512 << 10,
@@ -376,6 +427,14 @@ impl SimConfig {
     /// process regardless of the environment.
     pub fn with_exec(mut self, exec: ExecBackend) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Enables the periodic flusher with the given epoch interval
+    /// (builder style). The per-epoch page bound stays at the default;
+    /// assign `writeback` directly for full control.
+    pub fn with_writeback(mut self, interval: GrayDuration) -> Self {
+        self.writeback = WritebackParams::every(interval);
         self
     }
 
@@ -419,6 +478,16 @@ impl SimConfig {
         for d in &self.disks {
             assert!(d.capacity >= self.page_size * 1024, "disk too small");
             assert!(d.bandwidth > 0 && d.rpm > 0, "disk parameters degenerate");
+        }
+        if self.writeback.enabled {
+            assert!(
+                self.writeback.interval > GrayDuration::ZERO,
+                "flusher interval must be positive"
+            );
+            assert!(
+                self.writeback.max_pages_per_epoch > 0,
+                "flusher epoch page bound must be positive"
+            );
         }
     }
 }

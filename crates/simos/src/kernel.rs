@@ -47,6 +47,10 @@ pub struct KernelStats {
     pub cache_hits: u64,
     /// File-cache misses.
     pub cache_misses: u64,
+    /// Flusher epochs that have fired (including no-op epochs).
+    pub flusher_runs: u64,
+    /// Dirty file pages written back by the flusher.
+    pub flusher_pages: u64,
 }
 
 /// Per-open-file state.
@@ -87,6 +91,9 @@ pub struct Kernel {
     fdt: Vec<HashMap<u32, OpenFile>>,
     next_fd: Vec<u32>,
     stats: KernelStats,
+    /// Virtual instant of the next flusher epoch (meaningful only when
+    /// `cfg.writeback.enabled`).
+    next_flush: Nanos,
 }
 
 impl Kernel {
@@ -125,6 +132,7 @@ impl Kernel {
             fdt: Vec::new(),
             next_fd: Vec::new(),
             stats: KernelStats::default(),
+            next_flush: Nanos::ZERO + cfg.writeback.interval,
             cfg,
         }
     }
@@ -238,6 +246,68 @@ impl Kernel {
         Ok(())
     }
 
+    /// Fires any flusher epochs the calling process's clock has crossed.
+    ///
+    /// Called at every kernel entry. The conservative executor always
+    /// resumes the minimum-(time, pid) runnable process, so the identity
+    /// of the first process to cross an epoch — and therefore the cache
+    /// state the flusher sees — is a pure function of virtual time:
+    /// bit-identical across backends and worker counts.
+    ///
+    /// The daemon's cost lands on the *disk* timelines, not on the
+    /// innocent crossing process: each writeback occupies its disk's
+    /// FCFS queue starting at the epoch instant, so foreground I/O
+    /// issued afterwards waits behind it. That queueing delay is the
+    /// side effect WBD observes.
+    fn poll_flusher(&mut self, pid: usize) {
+        if !self.cfg.writeback.enabled {
+            return;
+        }
+        let now = self.procs[pid].now;
+        let interval = self.cfg.writeback.interval;
+        while self.next_flush <= now {
+            let epoch = self.next_flush;
+            self.next_flush += interval;
+            self.stats.flusher_runs += 1;
+            let dirty = self.cache.dirty_pages();
+            if dirty.is_empty() {
+                // Nothing dirty, and nothing changes between the epochs
+                // inside one poll: fast-forward past the remaining no-ops.
+                if self.next_flush <= now {
+                    let behind =
+                        (now.as_nanos() - self.next_flush.as_nanos()) / interval.as_nanos() + 1;
+                    self.stats.flusher_runs += behind;
+                    self.next_flush += GrayDuration::from_nanos(behind * interval.as_nanos());
+                }
+                continue;
+            }
+            let mut budget = self.cfg.writeback.max_pages_per_epoch;
+            for id in dirty {
+                if budget == 0 {
+                    break;
+                }
+                let Owner::File { dev, ino } = id.owner else {
+                    continue; // Anonymous pages belong to the swap path.
+                };
+                let dev = dev as usize;
+                let block = if ino == ITABLE_INO {
+                    Some(id.page)
+                } else {
+                    self.fss[dev].block_of(ino, id.page)
+                };
+                if let Some(block) = block {
+                    // On the disk's own timeline; the return (completion
+                    // instant) is deliberately not charged to `pid`.
+                    self.disks[dev].transfer(epoch, block, 1);
+                    self.stats.file_page_writes += 1;
+                    self.stats.flusher_pages += 1;
+                }
+                self.cache.clean(id);
+                budget -= 1;
+            }
+        }
+    }
+
     /// Charges the metadata I/O a file-system operation performed.
     fn charge_meta(&mut self, pid: usize, dev: usize) -> OsResult<()> {
         let io = self.fss[dev].take_io();
@@ -303,6 +373,7 @@ impl Kernel {
 
     /// The high-resolution clock, with read cost and quantization.
     pub fn sys_now(&mut self, pid: usize) -> Nanos {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, TIMER_READ);
         self.noise.quantize(self.procs[pid].now)
     }
@@ -314,6 +385,7 @@ impl Kernel {
 
     /// Opens an existing file.
     pub fn sys_open(&mut self, pid: usize, path: &str) -> OsResult<Fd> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
         let ino = {
@@ -330,6 +402,7 @@ impl Kernel {
 
     /// Creates and opens a new file.
     pub fn sys_create(&mut self, pid: usize, path: &str) -> OsResult<Fd> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
         let now = self.procs[pid].now;
@@ -358,6 +431,7 @@ impl Kernel {
 
     /// Closes a descriptor.
     pub fn sys_close(&mut self, pid: usize, fd: Fd) -> OsResult<()> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         self.fdt[pid]
             .remove(&fd.0)
@@ -375,6 +449,7 @@ impl Kernel {
         len: u64,
         mut buf: Option<&mut [u8]>,
     ) -> OsResult<u64> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let of = *self.fdt[pid].get(&fd.0).ok_or(OsError::BadFd)?;
         let size = self.fss[of.dev]
@@ -530,6 +605,7 @@ impl Kernel {
         let mut last_read_at = None;
         for spec in specs {
             let t0 = self.sys_now(pid);
+            self.poll_flusher(pid);
             self.charge_cpu(pid, self.cfg.costs.syscall);
             let mut ok = false;
             if spec.offset < size {
@@ -648,6 +724,7 @@ impl Kernel {
         if let Some(d) = data {
             debug_assert_eq!(d.len() as u64, len);
         }
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         if len == 0 {
             return Ok(0);
@@ -719,6 +796,7 @@ impl Kernel {
 
     /// Size of an open file.
     pub fn sys_file_size(&mut self, pid: usize, fd: Fd) -> OsResult<u64> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let of = self.fdt[pid].get(&fd.0).ok_or(OsError::BadFd)?;
         Ok(self.fss[of.dev]
@@ -729,6 +807,7 @@ impl Kernel {
 
     /// Writes back every dirty page (`sync(2)`), charged to the caller.
     pub fn sys_sync(&mut self, pid: usize) -> OsResult<()> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let dirty = self.cache.dirty_pages();
         for id in dirty {
@@ -756,6 +835,7 @@ impl Kernel {
 
     /// `stat(2)`.
     pub fn sys_stat(&mut self, pid: usize, path: &str) -> OsResult<Stat> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
         let ino = {
@@ -776,6 +856,7 @@ impl Kernel {
 
     /// Lists a directory in creation order.
     pub fn sys_list_dir(&mut self, pid: usize, path: &str) -> OsResult<Vec<String>> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
         let r = self.fss[dev].list_dir(&local);
@@ -785,6 +866,7 @@ impl Kernel {
 
     /// Creates a directory.
     pub fn sys_mkdir(&mut self, pid: usize, path: &str) -> OsResult<()> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
         let now = self.procs[pid].now;
@@ -795,6 +877,7 @@ impl Kernel {
 
     /// Removes an empty directory.
     pub fn sys_rmdir(&mut self, pid: usize, path: &str) -> OsResult<()> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
         let now = self.procs[pid].now;
@@ -807,6 +890,7 @@ impl Kernel {
 
     /// Unlinks a file.
     pub fn sys_unlink(&mut self, pid: usize, path: &str) -> OsResult<()> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
         let now = self.procs[pid].now;
@@ -827,6 +911,7 @@ impl Kernel {
 
     /// Renames within one file system.
     pub fn sys_rename(&mut self, pid: usize, from: &str, to: &str) -> OsResult<()> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (fdev, flocal) = self.mount_of(from)?;
         let (tdev, tlocal) = self.mount_of(to)?;
@@ -847,6 +932,7 @@ impl Kernel {
         atime: Nanos,
         mtime: Nanos,
     ) -> OsResult<()> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
         let r = self.fss[dev].set_times(&local, atime, mtime);
@@ -859,12 +945,14 @@ impl Kernel {
         if bytes == 0 {
             return Err(OsError::InvalidArgument);
         }
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         Ok(self.vm.alloc(bytes.div_ceil(self.cfg.page_size)))
     }
 
     /// Frees a region and purges its pages.
     pub fn sys_mem_free(&mut self, pid: usize, region: u64) -> OsResult<()> {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         self.vm.free(region)?;
         let _ = self.cache.remove_owner(Owner::Anon { region });
@@ -873,6 +961,7 @@ impl Kernel {
 
     /// Write-touches one page of a region.
     pub fn sys_mem_touch_write(&mut self, pid: usize, region: u64, page: u64) -> OsResult<()> {
+        self.poll_flusher(pid);
         self.vm.check(region, page)?;
         let id = PageId {
             owner: Owner::Anon { region },
@@ -937,6 +1026,7 @@ impl Kernel {
 
     /// Read-touches one page of a region.
     pub fn sys_mem_touch_read(&mut self, pid: usize, region: u64, page: u64) -> OsResult<u8> {
+        self.poll_flusher(pid);
         self.vm.check(region, page)?;
         let id = PageId {
             owner: Owner::Anon { region },
@@ -970,11 +1060,13 @@ impl Kernel {
 
     /// Burns CPU time.
     pub fn sys_compute(&mut self, pid: usize, work: GrayDuration) {
+        self.poll_flusher(pid);
         self.charge_cpu(pid, work);
     }
 
     /// Advances the process clock without consuming CPU.
     pub fn sys_sleep(&mut self, pid: usize, d: GrayDuration) {
+        self.poll_flusher(pid);
         self.procs[pid].now += d;
     }
 
@@ -1273,5 +1365,104 @@ mod tests {
         k.sys_write(pid, fd, 0, 10, None).unwrap();
         assert_eq!(k.sys_read(pid, fd, 10, 5, None).unwrap(), 0);
         assert_eq!(k.sys_read(pid, fd, 8, 100, None).unwrap(), 2);
+    }
+
+    fn flusher_kernel(interval_ms: u64) -> (Kernel, usize) {
+        let cfg = SimConfig::small()
+            .without_noise()
+            .with_writeback(GrayDuration::from_millis(interval_ms));
+        let mut k = Kernel::new(cfg);
+        let pid = k.add_proc(Nanos::ZERO);
+        (k, pid)
+    }
+
+    #[test]
+    fn flusher_cleans_dirty_residue_across_epochs() {
+        let (mut k, pid) = flusher_kernel(10);
+        let fd = k.sys_create(pid, "/f").unwrap();
+        k.sys_write(pid, fd, 0, 64 << 10, None).unwrap();
+        assert!(
+            !k.cache().dirty_pages().is_empty(),
+            "writes must leave dirty pages"
+        );
+        k.sys_sleep(pid, GrayDuration::from_millis(25));
+        k.sys_now(pid); // Entry crosses the epochs; the flusher fires.
+        let stats = k.stats();
+        assert!(stats.flusher_runs >= 1, "no flusher epoch fired");
+        assert!(stats.flusher_pages >= 16, "flusher wrote {stats:?}");
+        // Data pages are clean; at most freshly-dirtied metadata remains.
+        let (dev, ino) = k.oracle_resolve("/f").unwrap();
+        let owner = Owner::File {
+            dev: dev as u32,
+            ino,
+        };
+        assert!(
+            k.cache().dirty_pages().iter().all(|id| id.owner != owner),
+            "file data pages survived the flusher dirty"
+        );
+    }
+
+    #[test]
+    fn flusher_off_by_default_leaves_residue() {
+        let (mut k, pid) = kernel();
+        let fd = k.sys_create(pid, "/f").unwrap();
+        k.sys_write(pid, fd, 0, 64 << 10, None).unwrap();
+        k.sys_sleep(pid, GrayDuration::from_secs(5));
+        k.sys_now(pid);
+        assert_eq!(k.stats().flusher_runs, 0);
+        assert!(
+            !k.cache().dirty_pages().is_empty(),
+            "residue must persist without a flusher"
+        );
+    }
+
+    #[test]
+    fn flusher_writeback_occupies_the_disk_timeline() {
+        // Identical op sequences; the only difference is the flusher.
+        // Its epoch writebacks occupy disk 0's FCFS queue, so the cold
+        // foreground read issued just after the epoch waits behind them.
+        let run = |writeback: bool| -> GrayDuration {
+            let mut cfg = SimConfig::small().without_noise();
+            if writeback {
+                cfg = cfg.with_writeback(GrayDuration::from_millis(10));
+            }
+            let mut k = Kernel::new(cfg);
+            let pid = k.add_proc(Nanos::ZERO);
+            let fa = k.sys_create(pid, "/a").unwrap();
+            let fb = k.sys_create(pid, "/b").unwrap();
+            k.sys_write(pid, fa, 0, 256 << 10, None).unwrap();
+            k.sys_write(pid, fb, 0, 64 << 10, None).unwrap();
+            k.flush_file_cache(); // Quiescent point: everything clean+cold.
+            k.sys_write(pid, fa, 0, 256 << 10, None).unwrap(); // Re-dirty.
+            k.sys_sleep(pid, GrayDuration::from_millis(11));
+            let t0 = k.proc_time(pid);
+            k.sys_read(pid, fb, 0, 4096, None).unwrap(); // Cold read.
+            k.proc_time(pid).since(t0)
+        };
+        let quiet = run(false);
+        let contended = run(true);
+        assert!(
+            contended > quiet,
+            "flusher contention missing: quiet {quiet} vs contended {contended}"
+        );
+    }
+
+    #[test]
+    fn flusher_epoch_bound_limits_pages_per_epoch() {
+        let cfg = SimConfig::small().without_noise();
+        let mut cfg = cfg.with_writeback(GrayDuration::from_millis(10));
+        cfg.writeback.max_pages_per_epoch = 4;
+        let mut k = Kernel::new(cfg);
+        let pid = k.add_proc(Nanos::ZERO);
+        let fd = k.sys_create(pid, "/f").unwrap();
+        k.sys_write(pid, fd, 0, 64 << 10, None).unwrap(); // 16 dirty pages.
+        let dirty_before = k.cache().dirty_pages().len();
+        k.sys_sleep(pid, GrayDuration::from_millis(11));
+        k.sys_now(pid); // Exactly one epoch crossed.
+        let swept = dirty_before - k.cache().dirty_pages().len();
+        assert!(
+            (1..=4).contains(&swept),
+            "epoch sweep must respect the page bound, swept {swept}"
+        );
     }
 }

@@ -65,7 +65,7 @@ pub mod vm;
 
 pub use config::{
     CacheArch, CostParams, DiskParams, ExecBackend, FsParams, LayoutPolicy, NoiseParams, Platform,
-    SimConfig,
+    SimConfig, WritebackParams,
 };
 pub use exec::{ProcPanic, Sim, SimProc};
 pub use oracle::Oracle;

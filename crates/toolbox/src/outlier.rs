@@ -157,4 +157,45 @@ mod tests {
     fn mad_of_empty_is_zero() {
         assert_eq!(mad(&[]), 0.0);
     }
+
+    #[test]
+    fn bounds_of_small_samples_are_infinite() {
+        // Below 3 observations no spread estimate exists; the interval is
+        // all-accepting, matching discard_outliers' pass-through.
+        for data in [&[][..], &[5.0][..], &[1.0, 100.0][..]] {
+            for policy in [OutlierPolicy::default(), OutlierPolicy::Iqr { k: 1.5 }] {
+                let (lo, hi) = bounds(data, policy);
+                assert_eq!(lo, f64::NEG_INFINITY);
+                assert_eq!(hi, f64::INFINITY);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_of_constant_data_collapse_to_the_point() {
+        // MAD and IQR are both 0: the acceptance interval degenerates to
+        // the single observed value, and exact duplicates all survive.
+        let data = [7.0; 8];
+        for policy in [OutlierPolicy::Mad { k: 5.0 }, OutlierPolicy::Iqr { k: 1.5 }] {
+            assert_eq!(bounds(&data, policy), (7.0, 7.0));
+            assert_eq!(discard_outliers(&data, policy), data);
+        }
+    }
+
+    #[test]
+    fn bounds_agree_with_discard_outliers() {
+        // bounds() exists so paired measurements can re-apply the exact
+        // interval discard_outliers uses; the two must never drift apart.
+        let data = [10.0, 10.4, 9.8, 10.2, 9.9, 640.0, 10.1];
+        let policy = OutlierPolicy::default();
+        let (lo, hi) = bounds(&data, policy);
+        let refiltered: Vec<f64> = data
+            .iter()
+            .copied()
+            .filter(|x| (lo..=hi).contains(x))
+            .collect();
+        let kept = discard_outliers(&data, policy);
+        assert_eq!(kept, refiltered);
+        assert!(!kept.contains(&640.0));
+    }
 }

@@ -899,6 +899,45 @@ mod tests {
     }
 
     #[test]
+    fn paired_compare_single_pair_is_undecided() {
+        // One pair: rejection cannot apply (bounds are infinite below 3
+        // samples), the medians are the samples themselves, and one vote
+        // is never significant — the comparison degrades to "no verdict",
+        // not to a spurious one.
+        let r = paired_compare(&[100.0], &[50.0], crate::outlier::OutlierPolicy::default());
+        assert_eq!((r.rounds, r.kept), (1, 1));
+        assert_eq!(r.baseline_median_ns, 100.0);
+        assert_eq!(r.candidate_median_ns, 50.0);
+        assert!((r.speedup - 2.0).abs() < 1e-12);
+        assert_eq!((r.sign.less, r.sign.greater), (1, 0));
+        assert!(!r.candidate_faster(0.05), "one pair can never decide");
+        assert!(r.sign.p_value >= 0.99);
+    }
+
+    #[test]
+    fn paired_compare_all_ties_is_null() {
+        let r = paired_compare(
+            &[42.0; 6],
+            &[42.0; 6],
+            crate::outlier::OutlierPolicy::default(),
+        );
+        assert_eq!((r.rounds, r.kept), (6, 6));
+        assert_eq!((r.sign.less, r.sign.greater, r.sign.ties), (0, 0, 6));
+        assert_eq!(r.sign.p_value, 1.0);
+        assert_eq!(r.speedup, 1.0);
+        assert!(!r.candidate_faster(0.05) && !r.candidate_slower(0.05));
+    }
+
+    #[test]
+    fn paired_compare_empty_input_is_inert() {
+        let r = paired_compare(&[], &[], crate::outlier::OutlierPolicy::default());
+        assert_eq!((r.rounds, r.kept), (0, 0));
+        assert_eq!(r.sign.p_value, 1.0);
+        assert!(r.baseline_median_ns.is_nan() && r.candidate_median_ns.is_nan());
+        assert!(!r.candidate_faster(0.05) && !r.candidate_slower(0.05));
+    }
+
+    #[test]
     fn paired_host_compare_smoke() {
         let spin = |iters: u64| {
             move || {

@@ -13,6 +13,8 @@
 //!   plans out across processes;
 //! - [`gbd`] — the long-running multi-tenant inference daemon that serves
 //!   FCCD/MAC/FLDC queries from a shared cache over one scheduler;
+//! - [`covert`] — the adversarial covert-channel subsystem (transmit /
+//!   infer / defend over shared page-cache and dirty-page state);
 //! - [`simos`] — the deterministic simulated OS substrate;
 //! - [`hostos`] — the real-OS backend over `std`;
 //! - [`apps`] — grep, fastsort, gbp, and the scan workloads;
@@ -24,6 +26,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use covert;
 pub use gbd;
 pub use gray_apps as apps;
 pub use gray_sched as sched;
