@@ -1,0 +1,5 @@
+//! `cargo bench --bench obs` — see `gray_bench::suites::obs`.
+
+fn main() {
+    gray_bench::suites::run_standalone(gray_bench::suites::obs::register);
+}

@@ -1,7 +1,7 @@
 //! The benchmark runner: sweeps every suite and persists a baseline file.
 //!
 //! ```text
-//! cargo run --release -p gray-bench --bin bench              # full run → BENCH_PR9.json
+//! cargo run --release -p gray-bench --bin bench              # full run → BENCH_PR10.json
 //! cargo run --release -p gray-bench --bin bench -- --smoke   # 1 warmup + 1 iter each → BENCH_SMOKE.json
 //! cargo run --release -p gray-bench --bin bench -- fccd      # substring filter, as with cargo bench
 //! cargo run --release -p gray-bench --bin bench -- --diff BENCH_PR7.json BENCH_PR8.json
@@ -32,7 +32,7 @@ use gray_toolbox::bench::Harness;
 use std::time::Duration;
 
 /// Baseline file for full runs (committed at the repo root).
-const BASELINE: &str = "BENCH_PR9.json";
+const BASELINE: &str = "BENCH_PR10.json";
 /// Output for smoke runs (existence proof only, never committed).
 const SMOKE_OUT: &str = "BENCH_SMOKE.json";
 /// Mean-time ratio above which `--diff` flags a benchmark as regressed.
@@ -235,6 +235,38 @@ fn main() {
         "  \"covert_grid\": [\n{}\n  ]",
         covert_lines.join(",\n")
     ));
+    // The observability headline: the profiler's observation-only and
+    // free-when-off contracts, both measured. Bit-identity (profiler on
+    // vs off: fleet digests, makespans, covert grid digest) is gated
+    // hard; the disabled-hook cost gates on its own paired sign-test
+    // verdict; the enabled-profiler cost is informational.
+    let o = suites::obs::run(smoke);
+    println!(
+        "obs profiler: {} procs, identical {}, {} virtual ns attributed over \
+         {} leaves ({} charges); disabled hooks {:.2}x (sign test: {} faster / \
+         {} slower, p={:.4}); enabled profiler {:.2}x; top {} ({} ns)",
+        o.procs,
+        o.identical,
+        o.charged_total_ns,
+        o.profile_leaves,
+        o.profile_charges,
+        o.disabled.speedup,
+        o.disabled.sign.less,
+        o.disabled.sign.greater,
+        o.disabled.sign.p_value,
+        o.enabled.speedup,
+        o.top_path,
+        o.top_ns
+    );
+    headlines.push_str(&format!(",\n  \"obs\": {{{}}}", o.json_fields()));
+    headlines.push_str(&format!(
+        ",\n  \"obs_disabled_overhead\": {{{}}}",
+        o.disabled_json_fields()
+    ));
+    headlines.push_str(&format!(
+        ",\n  \"obs_profiler_cost\": {{{}}}",
+        o.enabled_json_fields()
+    ));
 
     let json = format!(
         "{{\n  \"schema\": \"gray-bench-baseline/v1\",\n  \"smoke\": {smoke},\n{}{headlines}\n}}\n",
@@ -298,7 +330,8 @@ fn diff(old_path: &str, new_path: &str) -> i32 {
         + diff_gbd(old_path, new_path)
         + diff_fleet(old_path, new_path)
         + diff_matrix(old_path, new_path)
-        + diff_covert(old_path, new_path);
+        + diff_covert(old_path, new_path)
+        + diff_obs(old_path, new_path);
     println!(
         "{compared} compared: {regressed} host-time slower (informational), \
          {hard} deterministic regressions"
@@ -712,6 +745,106 @@ fn diff_covert(old_path: &str, new_path: &str) -> usize {
             println!("  REGRESSED covert.quiet_capacity_bps: {old_v:.2} → {new_v:.2}");
         } else if new_v > old_v * 1.1 {
             println!("  improved  covert.quiet_capacity_bps: {old_v:.2} → {new_v:.2}");
+        }
+    }
+    regressed
+}
+
+/// Compares the observability headline and its paired overhead row.
+///
+/// Gated on the new baseline alone (the profiler's contracts must hold
+/// in every baseline):
+///
+/// - `identical:false` — enabling the profiler moved a virtual-time
+///   result (fleet digest, makespan, or covert grid digest): the
+///   observation-only contract broke;
+/// - `charged_total_ns` of zero — the charge hooks came unwired, so the
+///   attribution tree is empty while the fleet plainly consumed time;
+/// - the `obs_disabled_overhead` row — the strict diff re-applies the
+///   recorded paired verdict: a hard failure requires the sign test to
+///   find the hooked loop significantly slower (`sign_greater >
+///   sign_less` at p < 0.05) **and** the median paired speedup below
+///   0.8, i.e. the *disabled* hooks cost more than a quarter of a
+///   16-step splitmix64 work unit — which one relaxed load and a branch
+///   cannot, so only a real fast-path regression fails.
+///
+/// Cross-file, the profiler-off virtual makespan gets the usual 10%
+/// slack when the fleet size matches; the profile tree shape
+/// (leaves/digest/top path) is informational — re-tuning the scenario
+/// legitimately moves it. The `obs_profiler_cost` row never gates:
+/// profiling is expected to cost host time.
+fn diff_obs(old_path: &str, new_path: &str) -> usize {
+    let headline = |path: &str| -> Option<String> {
+        let text = std::fs::read_to_string(path).ok()?;
+        text.lines()
+            .find(|l| l.contains("\"charged_total_ns\":"))
+            .map(str::to_string)
+    };
+    let Some(new_line) = headline(new_path) else {
+        if headline(old_path).is_some() {
+            println!("  removed   obs profiler headline");
+        }
+        return 0;
+    };
+    let mut regressed = 0usize;
+    if new_line.contains("\"identical\":false") {
+        regressed += 1;
+        println!("  REGRESSED obs.identical: profiler perturbed virtual time");
+    }
+    if field_num(&new_line, "charged_total_ns").unwrap_or(0.0) <= 0.0 {
+        regressed += 1;
+        println!("  REGRESSED obs.charged_total_ns: profiler attributed nothing");
+    }
+    // The overhead row gates on the new file alone — the decision rule
+    // is recorded in the row itself.
+    let overhead_line = |path: &str| -> Option<String> {
+        let text = std::fs::read_to_string(path).ok()?;
+        text.lines()
+            .find(|l| l.contains("\"hook_median_ns\":"))
+            .map(str::to_string)
+    };
+    if let Some(line) = overhead_line(new_path) {
+        let speedup = field_num(&line, "speedup").unwrap_or(1.0);
+        let less = field_num(&line, "sign_less").unwrap_or(0.0);
+        let greater = field_num(&line, "sign_greater").unwrap_or(0.0);
+        let p = field_num(&line, "p_value").unwrap_or(1.0);
+        if greater > less && p < 0.05 && speedup < 0.8 {
+            regressed += 1;
+            println!(
+                "  REGRESSED obs_disabled_overhead: {speedup:.2}x \
+                 (disabled hooks significantly slower, p={p:.4})"
+            );
+        } else {
+            println!(
+                "  info      obs_disabled_overhead: {speedup:.2}x \
+                 (sign test {less:.0} faster / {greater:.0} slower, p={p:.4})"
+            );
+        }
+    }
+    let Some(old_line) = headline(old_path) else {
+        println!("  new       obs profiler headline");
+        return regressed;
+    };
+    // The makespan is only comparable over the same fleet (full vs
+    // smoke run different sizes).
+    if field_num(&old_line, "procs") != field_num(&new_line, "procs") {
+        println!(
+            "  info      obs fleet size changed ({:.0} → {:.0} procs); \
+             makespan comparison skipped",
+            field_num(&old_line, "procs").unwrap_or(0.0),
+            field_num(&new_line, "procs").unwrap_or(0.0)
+        );
+        return regressed;
+    }
+    if let (Some(old_v), Some(new_v)) = (
+        field_num(&old_line, "baseline_virtual_ns"),
+        field_num(&new_line, "baseline_virtual_ns"),
+    ) {
+        if new_v > old_v * 1.1 {
+            regressed += 1;
+            println!("  REGRESSED obs.baseline_virtual_ns: {old_v:.0} → {new_v:.0}");
+        } else if new_v < old_v * 0.9 {
+            println!("  improved  obs.baseline_virtual_ns: {old_v:.0} → {new_v:.0}");
         }
     }
     regressed

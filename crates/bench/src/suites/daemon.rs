@@ -55,6 +55,10 @@ pub struct DaemonReport {
     pub coalesced: u64,
     /// Entries evicted on churn contradiction.
     pub invalidated: u64,
+    /// Entries aged out at lookup (virtual-TTL expiry).
+    pub expired: u64,
+    /// Entries evicted by the cache capacity bound.
+    pub capacity_evictions: u64,
     /// Churned entries re-inferred within budget.
     pub reinfers: u64,
     /// Scheduler waves dispatched daemon-wide.
@@ -73,6 +77,7 @@ impl DaemonReport {
         format!(
             "\"tenants\":{},\"queries\":{},\"hits\":{},\"hit_rate\":{:.4},\
              \"admitted\":{},\"shed\":{},\"coalesced\":{},\"invalidated\":{},\
+             \"expired\":{},\"capacity_evictions\":{},\
              \"reinfers\":{},\"waves\":{},\"virtual_total_ns\":{},\
              \"virtual_ns_per_query\":{:.1}",
             self.tenants,
@@ -83,6 +88,8 @@ impl DaemonReport {
             self.shed,
             self.coalesced,
             self.invalidated,
+            self.expired,
+            self.capacity_evictions,
             self.reinfers,
             self.waves,
             self.virtual_total_ns,
@@ -210,6 +217,8 @@ pub fn run() -> DaemonReport {
         shed: s.shed,
         coalesced: s.coalesced,
         invalidated: s.invalidated,
+        expired: s.expired,
+        capacity_evictions: s.capacity_evictions,
         reinfers: s.reinfers,
         waves: s.waves,
         virtual_total_ns,

@@ -11,6 +11,7 @@ pub mod figures;
 pub mod fleet;
 pub mod icl;
 pub mod matrix;
+pub mod obs;
 pub mod sched;
 pub mod substrate;
 pub mod toolbox;
@@ -22,7 +23,7 @@ use std::time::Duration;
 pub type Register = fn(&mut Harness);
 
 /// All suites, in baseline-file order: `(target name, register fn)`.
-pub const ALL: [(&str, Register); 10] = [
+pub const ALL: [(&str, Register); 11] = [
     ("toolbox", toolbox::register),
     ("substrate", substrate::register),
     ("icl", icl::register),
@@ -33,6 +34,7 @@ pub const ALL: [(&str, Register); 10] = [
     ("fleet", fleet::register),
     ("matrix", matrix::register),
     ("covert", covert::register),
+    ("obs", obs::register),
 ];
 
 /// Runs one suite standalone with the `cargo bench` timing budget — the

@@ -29,6 +29,7 @@ use std::collections::BTreeMap;
 use gray_sched::AdmissionRequest;
 use gray_sched::{FccdFleet, MacAdmissionQueue, Scheduler, SimExecutor};
 use gray_toolbox::mailbox::{Mailbox, MailboxClient, Ticket};
+use gray_toolbox::stats::Log2Histogram;
 use gray_toolbox::trace::{self, TraceEvent};
 use gray_toolbox::Nanos;
 use graybox::fccd::{classify_ranks, FileRank};
@@ -87,6 +88,12 @@ pub enum Query {
         /// Scratch pages dirtied per calibration round.
         calib_pages: u64,
     },
+    /// Observability: the daemon's own service-level metrics — cumulative
+    /// stats, cache occupancy, admission state, and per-tenant virtual-
+    /// time latency histograms. Costs no probes and no virtual time, is
+    /// never cached (each answer reflects the serving instant), and is
+    /// how a `gray-top` dashboard sees inside the daemon.
+    MetricsSnapshot,
 }
 
 impl Query {
@@ -111,20 +118,24 @@ impl Query {
             }
             Query::FldcOrder { dir } => format!("fldc:{dir}"),
             Query::WbdResidue { calib_pages } => format!("wbd.residue:{calib_pages}"),
+            Query::MetricsSnapshot => "gbd.metrics".to_string(),
         }
     }
 
     /// Whether the answer may be served from cache. Allocation requests
     /// are side-effecting (each grant reflects memory at that instant and
-    /// is consumed by the asker), so they always execute.
+    /// is consumed by the asker), so they always execute; metrics
+    /// snapshots describe the serving instant, so caching one would
+    /// answer with a stale daemon.
     fn cacheable(&self) -> bool {
-        !matches!(self, Query::GbAlloc { .. })
+        !matches!(self, Query::GbAlloc { .. } | Query::MetricsSnapshot)
     }
 
     /// Whether execution issues timing probes (and therefore consumes the
-    /// admission budget). FLDC reads metadata only.
+    /// admission budget). FLDC reads metadata only; metrics snapshots
+    /// read daemon state only.
     fn needs_probes(&self) -> bool {
-        !matches!(self, Query::FldcOrder { .. })
+        !matches!(self, Query::FldcOrder { .. } | Query::MetricsSnapshot)
     }
 }
 
@@ -160,6 +171,9 @@ pub enum Reply {
         /// Estimated dirty pages at the instant of the timed `sync`.
         pages: u64,
     },
+    /// The daemon's service-level metrics (boxed: the snapshot carries
+    /// per-tenant histograms and would otherwise dominate every reply).
+    Metrics(Box<GbdMetrics>),
     /// Load-shed by query admission; retry next tick.
     Shed,
     /// The backend failed the query.
@@ -178,7 +192,7 @@ pub struct Response {
 }
 
 /// Per-tenant accounting.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TenantStats {
     /// Queries this tenant submitted.
     pub queries: u64,
@@ -186,6 +200,9 @@ pub struct TenantStats {
     pub hits: u64,
     /// Shed by admission.
     pub shed: u64,
+    /// Virtual-time service latency per answered query (nanoseconds from
+    /// tick drain to reply post; cache hits land in the 0 bucket).
+    pub latency: Log2Histogram,
 }
 
 /// A registered tenant.
@@ -201,7 +218,7 @@ pub struct Tenant {
 }
 
 /// Daemon-wide accounting, cumulative over ticks.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GbdStats {
     /// Serve ticks run.
     pub ticks: u64,
@@ -387,7 +404,9 @@ impl Gbd {
                             key: key.clone(),
                             outcome: "hit",
                         });
-                        self.tenants[tenant].stats.hits += 1;
+                        let t = &mut self.tenants[tenant];
+                        t.stats.hits += 1;
+                        t.stats.latency.record(0);
                         self.stats.hits += 1;
                         tick.hits += 1;
                         self.mailbox.reply(
@@ -483,14 +502,14 @@ impl Gbd {
             for (path, v) in &verdicts {
                 fresh_verdicts.insert(path.clone(), *v);
             }
-            self.finish_item(sim, item, reply, verdicts);
+            self.finish_item(sim, item, reply, verdicts, now);
         }
 
         // MAC allocations: pooled behind one probe pass.
         if !alloc_items.is_empty() {
             let replies = self.execute_allocs(sim, &alloc_items);
             for (item, reply) in alloc_items.iter().zip(replies) {
-                self.finish_item(sim, item, reply, BTreeMap::new());
+                self.finish_item(sim, item, reply, BTreeMap::new(), now);
             }
         }
 
@@ -519,12 +538,18 @@ impl Gbd {
                     (reply, BTreeMap::new())
                 }
                 Query::WbdResidue { calib_pages } => self.execute_wbd(sim, *calib_pages),
+                Query::MetricsSnapshot => {
+                    // Pure introspection: reads daemon state, touches
+                    // neither the sim nor the probe budget.
+                    let m = self.metrics_snapshot(sim.now());
+                    (Reply::Metrics(Box::new(m)), BTreeMap::new())
+                }
                 _ => unreachable!("grouped above"),
             };
             for (key, v) in &verdicts {
                 fresh_verdicts.insert(key.clone(), *v);
             }
-            self.finish_item(sim, item, reply, verdicts);
+            self.finish_item(sim, item, reply, verdicts, now);
         }
 
         // Phase 4: observed churn. Entries the fresh verdicts contradict
@@ -567,7 +592,7 @@ impl Gbd {
                             key: key.clone(),
                             outcome: "reinfer",
                         });
-                        self.finish_item(sim, &item, reply, verdicts);
+                        self.finish_item(sim, &item, reply, verdicts, now);
                     }
                 }
             }
@@ -716,14 +741,18 @@ impl Gbd {
     }
 
     /// Posts `reply` to every waiter of `item` and caches it if eligible.
+    /// `drained_at` is the tick's drain instant: the difference to the
+    /// posting instant is the waiter's virtual-time service latency.
     fn finish_item(
         &mut self,
         sim: &Sim,
         item: &ExecItem,
         reply: Reply,
         verdicts: BTreeMap<String, bool>,
+        drained_at: Nanos,
     ) {
         let served_at = sim.now();
+        let latency_ns = served_at.as_nanos().saturating_sub(drained_at.as_nanos());
         if item.query.cacheable() && !matches!(reply, Reply::Failed(_)) {
             let evicted = self.cache.insert(
                 item.key.clone(),
@@ -743,7 +772,8 @@ impl Gbd {
             }
         }
         for (tenant, ticket) in &item.waiters {
-            let t = &self.tenants[*tenant];
+            let t = &mut self.tenants[*tenant];
+            t.stats.latency.record(latency_ns);
             let _lane = trace::lane_scope(t.lane);
             let _span = trace::span("tenant", || t.name.clone());
             self.mailbox.reply(
@@ -756,4 +786,178 @@ impl Gbd {
             );
         }
     }
+
+    /// Captures the daemon's service-level metrics as of `at` (virtual
+    /// time). This is what [`Query::MetricsSnapshot`] answers with; it is
+    /// also directly callable between ticks for dashboards.
+    pub fn metrics_snapshot(&self, at: Nanos) -> GbdMetrics {
+        GbdMetrics {
+            at,
+            stats: self.stats,
+            cache_len: self.cache.len(),
+            admission_budget: self.admission.budget(),
+            admission_backoffs: self.admission.backoffs(),
+            policy: self.policy.name(),
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| TenantMetrics {
+                    name: t.name.clone(),
+                    lane: t.lane,
+                    queries: t.stats.queries,
+                    hits: t.stats.hits,
+                    shed: t.stats.shed,
+                    latency: t.stats.latency.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One tenant's row in a [`GbdMetrics`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantMetrics {
+    /// The tenant's registered name.
+    pub name: String,
+    /// The tenant's gray-trace lane.
+    pub lane: u64,
+    /// Queries submitted.
+    pub queries: u64,
+    /// Served from cache.
+    pub hits: u64,
+    /// Shed by admission.
+    pub shed: u64,
+    /// Virtual-time service latency histogram (ns).
+    pub latency: Log2Histogram,
+}
+
+/// The daemon's service-level snapshot: the answer to
+/// [`Query::MetricsSnapshot`] and the model behind [`render_gray_top`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GbdMetrics {
+    /// Virtual instant the snapshot was taken.
+    pub at: Nanos,
+    /// Cumulative daemon counters.
+    pub stats: GbdStats,
+    /// Live inference-cache entries.
+    pub cache_len: usize,
+    /// Live admission budget (ceiling minus AIMD backoff).
+    pub admission_budget: usize,
+    /// Times admission backed off.
+    pub admission_backoffs: u64,
+    /// The staleness policy's name.
+    pub policy: &'static str,
+    /// Per-tenant rows, in registration order.
+    pub tenants: Vec<TenantMetrics>,
+}
+
+impl GbdMetrics {
+    /// Renders the snapshot as one JSON object (hand-rolled, sorted
+    /// struct order, deterministic). Tenant latency histograms export
+    /// their count and coarse p50/p99 bounds.
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        let mut out = format!(
+            "{{\"at_ns\":{},\"policy\":\"{}\",\"ticks\":{},\"queries\":{},\"hits\":{},\
+             \"coalesced\":{},\"shed\":{},\"expired\":{},\"invalidated\":{},\"reinfers\":{},\
+             \"capacity_evictions\":{},\"admitted\":{},\"waves\":{},\"cache_len\":{},\
+             \"admission_budget\":{},\"admission_backoffs\":{},\"tenants\":[",
+            self.at.as_nanos(),
+            self.policy,
+            s.ticks,
+            s.queries,
+            s.hits,
+            s.coalesced,
+            s.shed,
+            s.expired,
+            s.invalidated,
+            s.reinfers,
+            s.capacity_evictions,
+            s.admitted,
+            s.waves,
+            self.cache_len,
+            self.admission_budget,
+            self.admission_backoffs,
+        );
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"lane\":{},\"queries\":{},\"hits\":{},\"shed\":{},\
+                 \"latency_count\":{},\"latency_p50_ns\":{},\"latency_p99_ns\":{}}}",
+                t.name,
+                t.lane,
+                t.queries,
+                t.hits,
+                t.shed,
+                t.latency.count(),
+                t.latency.percentile_bound(50.0),
+                t.latency.percentile_bound(99.0),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Renders a `gray-top`-style text dashboard from a metrics snapshot:
+/// daemon-wide counters up top, one row per tenant with hit rate and
+/// coarse latency percentiles below. Pure formatting — feed it
+/// consecutive snapshots for a live view.
+pub fn render_gray_top(m: &GbdMetrics) -> String {
+    use std::fmt::Write as _;
+    let s = &m.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "gray-top  virtual {:.3}s  tick {}  policy {}",
+        m.at.as_nanos() as f64 / 1e9,
+        s.ticks,
+        m.policy
+    );
+    let hit_rate = if s.queries > 0 {
+        s.hits as f64 * 100.0 / s.queries as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "queries {}  hits {} ({hit_rate:.1}%)  coalesced {}  shed {}  admitted {}",
+        s.queries, s.hits, s.coalesced, s.shed, s.admitted
+    );
+    let _ = writeln!(
+        out,
+        "cache {} entries  expired {}  churned {}  reinfers {}  evicted {}",
+        m.cache_len, s.expired, s.invalidated, s.reinfers, s.capacity_evictions
+    );
+    let _ = writeln!(
+        out,
+        "admission budget {}  backoffs {}  waves {}",
+        m.admission_budget, m.admission_backoffs, s.waves
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>8} {:>6} {:>6} {:>12} {:>12}",
+        "tenant", "queries", "hits", "hit%", "shed", "p50(ns)", "p99(ns)"
+    );
+    for t in &m.tenants {
+        let rate = if t.queries > 0 {
+            t.hits as f64 * 100.0 / t.queries as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>8} {:>5.1}% {:>6} {:>12} {:>12}",
+            t.name,
+            t.queries,
+            t.hits,
+            rate,
+            t.shed,
+            t.latency.percentile_bound(50.0),
+            t.latency.percentile_bound(99.0),
+        );
+    }
+    out
 }

@@ -47,7 +47,8 @@ use graybox::mac::MacParams;
 pub use admission::QueryAdmission;
 pub use cache::{CacheEntry, ChurnAware, Disposition, InferenceCache, StalenessPolicy, TtlOnly};
 pub use daemon::{
-    Gbd, GbdClient, GbdStats, Query, Reply, Response, Tenant, TickStats, WBD_DIRTY_VERDICT,
+    render_gray_top, Gbd, GbdClient, GbdMetrics, GbdStats, Query, Reply, Response, Tenant,
+    TenantMetrics, TickStats, WBD_DIRTY_VERDICT,
 };
 
 use std::fmt;
@@ -433,5 +434,67 @@ mod tests {
             };
             assert!(bytes >= mb, "idle machine admits the minimum");
         }
+    }
+
+    #[test]
+    fn metrics_snapshot_rides_the_query_path() {
+        let cfg = small_cfg();
+        let policy = cfg.churn_policy();
+        let mut gbd = Gbd::new(cfg, Box::new(policy));
+        let mut sim = scenario::daemon_machine(2, 4);
+        let files = scenario::spread_corpus(&mut sim, 2, 2, 512 << 10);
+        scenario::warm(&mut sim, &files[..2]);
+        let a = gbd.register_tenant("alice").unwrap();
+        let b = gbd.register_tenant("bob").unwrap();
+
+        // A miss, then a hit, so both latency regimes are on record.
+        let q = Query::FccdClassify {
+            files: files.clone(),
+        };
+        let t1 = a.submit(q.clone());
+        gbd.serve(&mut sim);
+        let _ = a.take(t1);
+        let t2 = a.submit(q);
+        gbd.serve(&mut sim);
+        let _ = a.take(t2);
+
+        let before = sim.now();
+        let tm = b.submit(Query::MetricsSnapshot);
+        let tick = gbd.serve(&mut sim);
+        assert_eq!(
+            sim.now(),
+            before,
+            "a metrics snapshot is free of virtual cost"
+        );
+        let Reply::Metrics(m) = b.take(tm).expect("served").reply else {
+            panic!("expected a metrics reply");
+        };
+        // The snapshot agrees with the daemon's own accounting, taken
+        // after the tick that served it.
+        assert_eq!(m.stats, *gbd.stats());
+        assert_eq!(m.cache_len, gbd.cache_len());
+        assert_eq!(m.tenants.len(), 2);
+        let alice = &m.tenants[0];
+        assert_eq!(alice.name, "alice");
+        assert_eq!(alice.queries, 2);
+        assert_eq!(alice.hits, 1);
+        // Both the miss and the hit recorded a latency sample; the hit
+        // is instantaneous, the miss is not.
+        assert_eq!(alice.latency.count(), 2);
+        assert!(alice.latency.percentile_bound(99.0) > 0);
+        assert_eq!(tick.queries, 1);
+
+        // The human and machine renderings carry the same story.
+        let top = render_gray_top(&m);
+        assert!(top.contains("alice") && top.contains("bob"), "{top}");
+        let json = m.to_json();
+        assert!(json.contains("\"name\":\"alice\""), "{json}");
+        assert!(json.contains("\"latency_count\":2"), "{json}");
+
+        // Identical snapshot queries must never be answered from cache.
+        let tm2 = b.submit(Query::MetricsSnapshot);
+        gbd.serve(&mut sim);
+        let r2 = b.take(tm2).expect("served");
+        assert!(!r2.from_cache, "metrics snapshots are never cached");
     }
 }

@@ -13,7 +13,7 @@
 //! With `--trace`, every event streams to JSONL; either way the run ends
 //! with the in-process timeline (`render_timeline`) of the last ticks.
 
-use gbd::{Gbd, GbdConfig, Query, Reply};
+use gbd::{render_gray_top, Gbd, GbdConfig, Query, Reply};
 use gray_sched::SchedConfig;
 use gray_toolbox::trace;
 use graybox::fccd::FccdParams;
@@ -141,6 +141,22 @@ fn main() {
         "   daemon: {} ticks, {} queries, {} hits, {} coalesced, {} shed, \
          {} reinfers, {} waves",
         s.ticks, s.queries, s.hits, s.coalesced, s.shed, s.reinfers, s.waves
+    );
+
+    println!();
+    println!("== gray-top: metrics snapshot via the query path ==");
+    // The snapshot is itself a query: it rides the same submit/serve/take
+    // path as inference, costs zero virtual time, and is never cached.
+    let t_m = alice.submit(Query::MetricsSnapshot);
+    gbd.serve(&mut sim);
+    let resp = alice.take(t_m).expect("served");
+    if let Reply::Metrics(m) = resp.reply {
+        print!("{}", render_gray_top(&m));
+        println!("METRICS_JSON {}", m.to_json());
+    }
+    println!(
+        "REGISTRY_JSON {}",
+        gray_toolbox::metrics::global().snapshot().to_json()
     );
 
     println!();

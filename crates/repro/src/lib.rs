@@ -101,11 +101,22 @@ impl Scale {
     }
 }
 
+/// Where `GRAY_PROFILE` asked the folded profile to be written, if set.
+static PROFILE_SINK: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+
 /// Enables trace export when a figure binary is asked for it: an explicit
 /// `--trace <path>` argument wins; otherwise the `GRAY_TRACE` environment
 /// variable is honored. Returns the sink path when tracing is on, so the
 /// binary can report it via [`finish_tracing`].
+///
+/// Also honors `GRAY_PROFILE=<path>`: the virtual-time profiler is armed
+/// for the whole run and [`finish_tracing`] writes the folded-stack
+/// attribution (one `path ns` line per leaf, flamegraph-ready) to the
+/// path.
 pub fn init_tracing() -> Option<String> {
+    if let Some(path) = gray_toolbox::profile::init_from_env() {
+        let _ = PROFILE_SINK.set(path);
+    }
     let args: Vec<String> = std::env::args().collect();
     if let Some(pos) = args.iter().position(|a| a == "--trace") {
         let path = args
@@ -126,6 +137,16 @@ pub fn finish_tracing(sink: Option<String>) {
     gray_toolbox::trace::shutdown();
     if let Some(path) = sink {
         eprintln!("trace: events written to {path}");
+    }
+    if let Some(path) = PROFILE_SINK.get() {
+        let snap = gray_toolbox::profile::snapshot();
+        match std::fs::write(path, snap.folded()) {
+            Ok(()) => eprintln!(
+                "profile: {} virtual ns attributed; folded stacks written to {path}",
+                snap.total_ns
+            ),
+            Err(e) => eprintln!("profile: cannot write {path}: {e}"),
+        }
     }
 }
 

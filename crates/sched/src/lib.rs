@@ -29,6 +29,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use gray_toolbox::metrics;
 use gray_toolbox::repository::{keys, ParamRepository};
 use gray_toolbox::trace::{self, TraceEvent};
 use gray_toolbox::GrayDuration;
@@ -238,6 +239,13 @@ impl Scheduler {
                     self.concurrency += 1;
                 }
             }
+            let reg = metrics::global();
+            reg.counter("sched.waves").inc();
+            reg.counter("sched.plans_dispatched").add(wave.len() as u64);
+            if self.concurrency < concurrency {
+                reg.counter("sched.guard_backoffs").inc();
+            }
+            reg.gauge("sched.concurrency").set(self.concurrency as i64);
             // One transition per wave, even when the count holds, so the
             // worker level over time reconstructs from the trace alone.
             let workers = self.concurrency;

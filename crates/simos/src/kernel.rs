@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use gray_toolbox::profile;
 use gray_toolbox::{GrayDuration, Nanos};
 use graybox::os::{Fd, OsError, OsResult, ProbeSample, ProbeSpec, Stat};
 
@@ -202,7 +203,15 @@ impl Kernel {
 
     fn charge_cpu(&mut self, pid: usize, d: GrayDuration) {
         let d = self.noise.apply(d);
-        self.procs[pid].now = self.cpus.run(self.procs[pid].now, d);
+        let before = self.procs[pid].now;
+        self.procs[pid].now = self.cpus.run(before, d);
+        // Observation only: the delta was already committed above, so the
+        // profiler cannot perturb virtual time (pinned by a tier-1 test).
+        profile::charge(
+            pid as u64,
+            "cpu",
+            self.procs[pid].now.as_nanos() - before.as_nanos(),
+        );
     }
 
     /// Synchronous disk transfer charged to `pid`.
@@ -210,6 +219,7 @@ impl Kernel {
         let now = self.procs[pid].now;
         let done = self.disks[dev].transfer(now, block, nblocks);
         self.procs[pid].now = done;
+        profile::charge(pid as u64, "disk", done.as_nanos() - now.as_nanos());
     }
 
     /// Handles cache evictions: dirty file pages are written back to their
@@ -373,6 +383,7 @@ impl Kernel {
 
     /// The high-resolution clock, with read cost and quantization.
     pub fn sys_now(&mut self, pid: usize) -> Nanos {
+        let _op = profile::op_scope("sys_now");
         self.poll_flusher(pid);
         self.charge_cpu(pid, TIMER_READ);
         self.noise.quantize(self.procs[pid].now)
@@ -385,6 +396,7 @@ impl Kernel {
 
     /// Opens an existing file.
     pub fn sys_open(&mut self, pid: usize, path: &str) -> OsResult<Fd> {
+        let _op = profile::op_scope("sys_open");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
@@ -402,6 +414,7 @@ impl Kernel {
 
     /// Creates and opens a new file.
     pub fn sys_create(&mut self, pid: usize, path: &str) -> OsResult<Fd> {
+        let _op = profile::op_scope("sys_create");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
@@ -431,6 +444,7 @@ impl Kernel {
 
     /// Closes a descriptor.
     pub fn sys_close(&mut self, pid: usize, fd: Fd) -> OsResult<()> {
+        let _op = profile::op_scope("sys_close");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         self.fdt[pid]
@@ -449,6 +463,7 @@ impl Kernel {
         len: u64,
         mut buf: Option<&mut [u8]>,
     ) -> OsResult<u64> {
+        let _op = profile::op_scope("sys_read");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let of = *self.fdt[pid].get(&fd.0).ok_or(OsError::BadFd)?;
@@ -560,6 +575,7 @@ impl Kernel {
     /// kernel lock (and the scheduler baton) once for the whole batch
     /// instead of three times per probe.
     pub fn sys_probe_batch(&mut self, pid: usize, fd: Fd, specs: &[ProbeSpec]) -> Vec<ProbeSample> {
+        let _op = profile::op_scope("sys_probe_batch");
         let mut out = Vec::with_capacity(specs.len());
         // Hoist the per-call fd-table and inode lookups: the batch holds
         // the kernel lock throughout, so no other process can close the
@@ -721,6 +737,7 @@ impl Kernel {
         len: u64,
         data: Option<&[u8]>,
     ) -> OsResult<u64> {
+        let _op = profile::op_scope("sys_write");
         if let Some(d) = data {
             debug_assert_eq!(d.len() as u64, len);
         }
@@ -796,6 +813,7 @@ impl Kernel {
 
     /// Size of an open file.
     pub fn sys_file_size(&mut self, pid: usize, fd: Fd) -> OsResult<u64> {
+        let _op = profile::op_scope("sys_file_size");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let of = self.fdt[pid].get(&fd.0).ok_or(OsError::BadFd)?;
@@ -807,6 +825,7 @@ impl Kernel {
 
     /// Writes back every dirty page (`sync(2)`), charged to the caller.
     pub fn sys_sync(&mut self, pid: usize) -> OsResult<()> {
+        let _op = profile::op_scope("sys_sync");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let dirty = self.cache.dirty_pages();
@@ -835,6 +854,7 @@ impl Kernel {
 
     /// `stat(2)`.
     pub fn sys_stat(&mut self, pid: usize, path: &str) -> OsResult<Stat> {
+        let _op = profile::op_scope("sys_stat");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
@@ -856,6 +876,7 @@ impl Kernel {
 
     /// Lists a directory in creation order.
     pub fn sys_list_dir(&mut self, pid: usize, path: &str) -> OsResult<Vec<String>> {
+        let _op = profile::op_scope("sys_list_dir");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
@@ -866,6 +887,7 @@ impl Kernel {
 
     /// Creates a directory.
     pub fn sys_mkdir(&mut self, pid: usize, path: &str) -> OsResult<()> {
+        let _op = profile::op_scope("sys_mkdir");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
@@ -877,6 +899,7 @@ impl Kernel {
 
     /// Removes an empty directory.
     pub fn sys_rmdir(&mut self, pid: usize, path: &str) -> OsResult<()> {
+        let _op = profile::op_scope("sys_rmdir");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
@@ -890,6 +913,7 @@ impl Kernel {
 
     /// Unlinks a file.
     pub fn sys_unlink(&mut self, pid: usize, path: &str) -> OsResult<()> {
+        let _op = profile::op_scope("sys_unlink");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
@@ -911,6 +935,7 @@ impl Kernel {
 
     /// Renames within one file system.
     pub fn sys_rename(&mut self, pid: usize, from: &str, to: &str) -> OsResult<()> {
+        let _op = profile::op_scope("sys_rename");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (fdev, flocal) = self.mount_of(from)?;
@@ -932,6 +957,7 @@ impl Kernel {
         atime: Nanos,
         mtime: Nanos,
     ) -> OsResult<()> {
+        let _op = profile::op_scope("sys_set_times");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         let (dev, local) = self.mount_of(path)?;
@@ -942,6 +968,7 @@ impl Kernel {
 
     /// Allocates an anonymous region (address space only).
     pub fn sys_mem_alloc(&mut self, pid: usize, bytes: u64) -> OsResult<u64> {
+        let _op = profile::op_scope("sys_mem_alloc");
         if bytes == 0 {
             return Err(OsError::InvalidArgument);
         }
@@ -952,6 +979,7 @@ impl Kernel {
 
     /// Frees a region and purges its pages.
     pub fn sys_mem_free(&mut self, pid: usize, region: u64) -> OsResult<()> {
+        let _op = profile::op_scope("sys_mem_free");
         self.poll_flusher(pid);
         self.charge_cpu(pid, self.cfg.costs.syscall);
         self.vm.free(region)?;
@@ -961,6 +989,7 @@ impl Kernel {
 
     /// Write-touches one page of a region.
     pub fn sys_mem_touch_write(&mut self, pid: usize, region: u64, page: u64) -> OsResult<()> {
+        let _op = profile::op_scope("sys_mem_touch_write");
         self.poll_flusher(pid);
         self.vm.check(region, page)?;
         let id = PageId {
@@ -1010,6 +1039,7 @@ impl Kernel {
         region: u64,
         pages: &[u64],
     ) -> Vec<ProbeSample> {
+        let _op = profile::op_scope("sys_mem_probe_batch");
         let mut out = Vec::with_capacity(pages.len());
         for &page in pages {
             let t0 = self.sys_now(pid);
@@ -1026,6 +1056,7 @@ impl Kernel {
 
     /// Read-touches one page of a region.
     pub fn sys_mem_touch_read(&mut self, pid: usize, region: u64, page: u64) -> OsResult<u8> {
+        let _op = profile::op_scope("sys_mem_touch_read");
         self.poll_flusher(pid);
         self.vm.check(region, page)?;
         let id = PageId {
@@ -1060,14 +1091,17 @@ impl Kernel {
 
     /// Burns CPU time.
     pub fn sys_compute(&mut self, pid: usize, work: GrayDuration) {
+        let _op = profile::op_scope("sys_compute");
         self.poll_flusher(pid);
         self.charge_cpu(pid, work);
     }
 
     /// Advances the process clock without consuming CPU.
     pub fn sys_sleep(&mut self, pid: usize, d: GrayDuration) {
+        let _op = profile::op_scope("sys_sleep");
         self.poll_flusher(pid);
         self.procs[pid].now += d;
+        profile::charge(pid as u64, "sleep", d.as_nanos());
     }
 
     // --- Experiment scaffolding (not part of the gray-box surface) --------

@@ -27,8 +27,10 @@
 pub mod bench;
 pub mod cluster;
 pub mod mailbox;
+pub mod metrics;
 pub mod outlier;
 pub mod pool;
+pub mod profile;
 pub mod prop;
 pub mod repository;
 pub mod rng;
@@ -39,8 +41,10 @@ pub mod trace;
 
 pub use cluster::{kmeans1d, two_means, Clustering};
 pub use mailbox::{Envelope, Mailbox, MailboxClient, Ticket};
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
 pub use outlier::{discard_outliers, mad, OutlierPolicy};
 pub use pool::{JobPanic, Pool};
+pub use profile::ProfileSnapshot;
 pub use repository::{ParamRepository, RepositoryError};
 pub use sampling::{Reservoir, StreamingRegression};
 pub use stats::{

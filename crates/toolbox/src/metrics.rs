@@ -1,0 +1,497 @@
+//! gray-metrics: a typed, lock-cheap metrics registry.
+//!
+//! The trace module answers "what happened, in order" — this module
+//! answers "how much, in aggregate". Call sites hold typed handles
+//! ([`Counter`], [`Gauge`], [`Histogram`]) obtained once from a
+//! [`Registry`]; every subsequent update is a single relaxed atomic
+//! operation with no lock and no allocation, so handles are cheap enough
+//! to bump inside the simulator's charging path or a probe loop.
+//!
+//! # Shape
+//!
+//! - **Counter** — monotonically increasing `u64` (events, bytes,
+//!   evictions).
+//! - **Gauge** — instantaneous `i64` (queue depth, worker count,
+//!   admission budget).
+//! - **Histogram** — 65 power-of-two buckets matching
+//!   [`Log2Histogram`]'s layout, recorded atomically and snapshotted
+//!   back into a [`Log2Histogram`] for percentile math.
+//! - **Labeled families** — `family{label}` keys minted by the
+//!   `*_labeled` constructors, so per-tenant or per-cell series share a
+//!   family name while remaining distinct rows.
+//!
+//! # Snapshots
+//!
+//! [`Registry::snapshot`] captures every metric into an immutable
+//! [`Snapshot`] (a `BTreeMap`, so iteration order — and therefore JSON
+//! export — is deterministic). [`Snapshot::diff`] subtracts an earlier
+//! snapshot to get a rate window, which is what a `gray-top`-style
+//! dashboard renders each refresh. [`Snapshot::to_json`] emits one JSON
+//! object, hand-rolled like every other serializer in this workspace.
+//!
+//! There is one process-wide [`global`] registry for library
+//! instrumentation (scheduler waves, admission decisions, covert cells);
+//! tests that need isolation construct their own `Registry`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::stats::Log2Histogram;
+use crate::trace::{json_f64, json_string};
+
+/// A monotonically increasing counter handle. Clones share the cell.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed gauge handle. Clones share the cell.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Atomic bucket array behind a [`Histogram`] handle. Bucket layout is
+/// identical to [`Log2Histogram`]: bucket `i` covers `[2^(i-1), 2^i)`.
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; 65],
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn snapshot(&self) -> Log2Histogram {
+        let buckets: [u64; 65] = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        Log2Histogram::from_buckets(buckets)
+    }
+}
+
+/// A log2 histogram handle recording one atomic bump per value. Clones
+/// share the buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots the buckets into a [`Log2Histogram`] for percentile
+    /// math and merging.
+    pub fn snapshot(&self) -> Log2Histogram {
+        self.0.snapshot()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Entry {
+    fn kind(&self) -> &'static str {
+        match self {
+            Entry::Counter(_) => "counter",
+            Entry::Gauge(_) => "gauge",
+            Entry::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One captured metric value inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A counter's total.
+    Counter(u64),
+    /// A gauge's level.
+    Gauge(i64),
+    /// A histogram's buckets (boxed: a `Log2Histogram` is 65 buckets
+    /// wide, and boxing keeps counter/gauge snapshots word-sized).
+    Histogram(Box<Log2Histogram>),
+}
+
+/// A typed metrics registry. The registry lock is taken only to mint or
+/// look up handles and to snapshot — never on the update path.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn entry_or_insert(&self, name: &str, make: impl FnOnce() -> Entry) -> Entry {
+        let mut map = match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        map.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Returns the counter named `name`, minting it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different type — a
+    /// call-site bug the registry refuses to paper over.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.entry_or_insert(name, || {
+            Entry::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Entry::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge named `name`, minting it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.entry_or_insert(name, || Entry::Gauge(Gauge(Arc::new(AtomicI64::new(0))))) {
+            Entry::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns the histogram named `name`, minting it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different type.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.entry_or_insert(name, || {
+            Entry::Histogram(Histogram(Arc::new(HistogramCore::new())))
+        }) {
+            Entry::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// A labeled member of a counter family, keyed `family{label}`.
+    pub fn counter_labeled(&self, family: &str, label: &str) -> Counter {
+        self.counter(&family_key(family, label))
+    }
+
+    /// A labeled member of a gauge family, keyed `family{label}`.
+    pub fn gauge_labeled(&self, family: &str, label: &str) -> Gauge {
+        self.gauge(&family_key(family, label))
+    }
+
+    /// A labeled member of a histogram family, keyed `family{label}`.
+    pub fn histogram_labeled(&self, family: &str, label: &str) -> Histogram {
+        self.histogram(&family_key(family, label))
+    }
+
+    /// Captures every registered metric into an immutable [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let map = match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let values = map
+            .iter()
+            .map(|(name, entry)| {
+                let value = match entry {
+                    Entry::Counter(c) => MetricValue::Counter(c.get()),
+                    Entry::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Entry::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { values }
+    }
+}
+
+/// Builds the `family{label}` key used by the `*_labeled` constructors.
+pub fn family_key(family: &str, label: &str) -> String {
+    format!("{family}{{{label}}}")
+}
+
+/// The process-wide registry used by library instrumentation.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// An immutable, deterministic capture of a registry's metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Metric values keyed by name, in sorted order.
+    pub values: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// Subtracts `earlier` from `self`, metric by metric: counters
+    /// saturate at zero, gauges subtract signed, histograms subtract
+    /// bucket-wise (saturating). Metrics absent from `earlier` pass
+    /// through unchanged; metrics absent from `self` are dropped. The
+    /// result is the activity window between the two captures.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let values = self
+            .values
+            .iter()
+            .map(|(name, now)| {
+                let value = match (now, earlier.values.get(name)) {
+                    (MetricValue::Counter(n), Some(MetricValue::Counter(e))) => {
+                        MetricValue::Counter(n.saturating_sub(*e))
+                    }
+                    (MetricValue::Gauge(n), Some(MetricValue::Gauge(e))) => {
+                        MetricValue::Gauge(n - e)
+                    }
+                    (MetricValue::Histogram(n), Some(MetricValue::Histogram(e))) => {
+                        let now_b = n.buckets();
+                        let then_b = e.buckets();
+                        let buckets: [u64; 65] =
+                            std::array::from_fn(|i| now_b[i].saturating_sub(then_b[i]));
+                        MetricValue::Histogram(Box::new(Log2Histogram::from_buckets(buckets)))
+                    }
+                    (now, _) => now.clone(),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { values }
+    }
+
+    /// The counter named `name`, or 0 when absent or not a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.values.get(name) {
+            Some(MetricValue::Counter(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    /// The gauge named `name`, or 0 when absent or not a gauge.
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.values.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The histogram named `name`, or an empty one when absent.
+    pub fn histogram(&self, name: &str) -> Log2Histogram {
+        match self.values.get(name) {
+            Some(MetricValue::Histogram(h)) => h.as_ref().clone(),
+            _ => Log2Histogram::new(),
+        }
+    }
+
+    /// Renders the snapshot as one JSON object. Counters and gauges
+    /// become numbers; histograms become
+    /// `{"count":n,"p50":b,"p99":b,"buckets":"…"}` with percentile
+    /// *bounds* (powers of two) and the compact bucket summary.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(name));
+            out.push(':');
+            match value {
+                MetricValue::Counter(n) => out.push_str(&format!("{n}")),
+                MetricValue::Gauge(v) => out.push_str(&format!("{v}")),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\":{},\"p50\":{},\"p99\":{},\"buckets\":{}}}",
+                        h.count(),
+                        h.percentile_bound(50.0),
+                        h.percentile_bound(99.0),
+                        json_string(&h.summary())
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders `name rate/s` style lines for a dashboard: every counter
+    /// in the window divided by `window_secs`, sorted by name.
+    pub fn render_rates(&self, window_secs: f64) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.values {
+            if let MetricValue::Counter(n) = value {
+                let rate = if window_secs > 0.0 {
+                    *n as f64 / window_secs
+                } else {
+                    0.0
+                };
+                out.push_str(&format!("  {name:<40} {n:>10}  {}/s\n", json_f64(rate)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn handles_share_cells_and_families_are_distinct() {
+        let reg = Registry::new();
+        let a = reg.counter("waves");
+        let b = reg.counter("waves");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter("waves").get(), 4);
+
+        let t0 = reg.counter_labeled("tenant.queries", "t0");
+        let t1 = reg.counter_labeled("tenant.queries", "t1");
+        t0.add(5);
+        t1.add(7);
+        assert_eq!(reg.counter("tenant.queries{t0}").get(), 5);
+        assert_eq!(reg.counter("tenant.queries{t1}").get(), 7);
+
+        let g = reg.gauge("budget");
+        g.set(16);
+        g.add(-6);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn type_confusion_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn histogram_matches_log2_reference() {
+        let reg = Registry::new();
+        let h = reg.histogram("latency");
+        let mut reference = Log2Histogram::new();
+        for v in [0u64, 1, 2, 900, 1100, 950_000, u64::MAX] {
+            h.record(v);
+            reference.record(v);
+        }
+        assert_eq!(h.snapshot(), reference);
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        let reg = Registry::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        thread::scope(|scope| {
+            for t in 0..threads {
+                let c = reg.counter("hits");
+                let h = reg.histogram("lat");
+                let g = reg.gauge("depth");
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        c.inc();
+                        h.record(i + t);
+                        g.add(1);
+                        g.add(-1);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("hits"), threads * per_thread);
+        assert_eq!(snap.histogram("lat").count(), threads * per_thread);
+        assert_eq!(snap.gauge("depth"), 0);
+    }
+
+    #[test]
+    fn snapshot_diff_and_json_are_deterministic() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(10);
+        reg.gauge("a.level").set(-2);
+        reg.histogram("c.lat").record(1000);
+        let before = reg.snapshot();
+
+        reg.counter("b.count").add(5);
+        reg.gauge("a.level").set(3);
+        reg.histogram("c.lat").record(2000);
+        reg.histogram("c.lat").record(2100);
+        let after = reg.snapshot();
+
+        let window = after.diff(&before);
+        assert_eq!(window.counter("b.count"), 5);
+        assert_eq!(window.gauge("a.level"), 5);
+        assert_eq!(window.histogram("c.lat").count(), 2);
+
+        // Same operations, fresh registry: byte-identical JSON.
+        let reg2 = Registry::new();
+        reg2.counter("b.count").add(15);
+        reg2.gauge("a.level").set(3);
+        for v in [1000u64, 2000, 2100] {
+            reg2.histogram("c.lat").record(v);
+        }
+        assert_eq!(after.to_json(), reg2.snapshot().to_json());
+        // Keys are sorted: gauge `a.level` leads despite insert order.
+        assert!(after.to_json().starts_with("{\"a.level\":3,"));
+    }
+
+    #[test]
+    fn diff_handles_new_and_removed_metrics() {
+        let reg = Registry::new();
+        reg.counter("old").add(2);
+        let before = reg.snapshot();
+        reg.counter("new").add(9);
+        let after = reg.snapshot();
+        let window = after.diff(&before);
+        assert_eq!(window.counter("new"), 9, "new metric passes through");
+        assert_eq!(window.counter("old"), 0);
+
+        let empty = Snapshot::default();
+        assert!(empty.diff(&after).values.is_empty(), "removed are dropped");
+    }
+}

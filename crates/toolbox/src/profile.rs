@@ -1,0 +1,476 @@
+//! gray-profile: a virtual-time attribution profiler.
+//!
+//! A wall-clock profiler answers "where did the CPU go"; in this
+//! workspace the scarce resource is *virtual* time — the nanoseconds the
+//! simulated kernel charges a process for CPU bursts, disk transfers,
+//! and sleeps. This module aggregates those charges into a hierarchical
+//! where-did-virtual-time-go tree without perturbing them: the hooks
+//! only *observe* deltas the kernel already computed, so enabling the
+//! profiler cannot change a single clock, verdict, or digest (a tier-1
+//! test pins exactly that).
+//!
+//! # Attribution path
+//!
+//! Each charge lands at a leaf addressed by three cooperating stacks:
+//!
+//! 1. the [`trace`](crate::trace) span stack (`plan:/f3`,
+//!    `tenant:4`, …) — per simulated process under the event-driven
+//!    executor thanks to `TraceCtx` swapping, per thread otherwise;
+//! 2. this module's own operation stack, pushed by [`op_scope`] at
+//!    kernel syscall entries (`sys_read`, `sys_probe_batch`, …) —
+//!    kernel operations complete without suspending, so these frames
+//!    are always balanced within one resume and need no swapping;
+//! 3. the charge *kind* leaf: `cpu`, `disk`, or `sleep`.
+//!
+//! A full path reads like a flamegraph frame:
+//! `sim;plan:/f3;sys_probe_batch;disk`. [`ProfileSnapshot::folded`]
+//! emits the standard folded-stack format (`path space count`) that
+//! flamegraph tooling consumes; [`ProfileSnapshot::render_tree`] prints
+//! an indented tree with percentages for terminals.
+//!
+//! # Cost model
+//!
+//! Mirrors [`trace`](crate::trace): disabled, every hook is one relaxed
+//! atomic load and a branch — no allocation, no lock (pinned by an
+//! allocation-counting test). Enabled, a charge clones the span stack
+//! and takes one mutex to bump the tree.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::trace;
+use crate::trace::json_string;
+
+/// Root frame every attribution path starts with.
+pub const ROOT: &str = "sim";
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static OP_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregate at one leaf of the attribution tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeAgg {
+    /// Virtual nanoseconds charged at this exact path.
+    pub ns: u64,
+    /// Number of charges that landed here.
+    pub count: u64,
+}
+
+#[derive(Debug, Default)]
+struct ProfilerState {
+    total_ns: u64,
+    nodes: BTreeMap<String, NodeAgg>,
+    by_pid: BTreeMap<u64, u64>,
+    by_lane: BTreeMap<u64, u64>,
+    by_kind: BTreeMap<&'static str, u64>,
+}
+
+fn state() -> &'static Mutex<ProfilerState> {
+    static STATE: OnceLock<Mutex<ProfilerState>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(ProfilerState::default()))
+}
+
+fn lock_state() -> MutexGuard<'static, ProfilerState> {
+    match state().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Whether profiling is enabled. One relaxed load — the entire cost of
+/// every hook in a disabled run.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables profiling (state accumulates until [`reset`]).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disables profiling. Accumulated state survives until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears the accumulated tree.
+pub fn reset() {
+    *lock_state() = ProfilerState::default();
+}
+
+/// Enables profiling if the `GRAY_PROFILE` environment variable names a
+/// path; returns that path so the caller can write
+/// [`ProfileSnapshot::folded`] there on shutdown.
+pub fn init_from_env() -> Option<String> {
+    let path = std::env::var("GRAY_PROFILE").ok()?;
+    if path.is_empty() {
+        return None;
+    }
+    enable();
+    Some(path)
+}
+
+/// Records a virtual-time charge of `ns` nanoseconds of `kind`
+/// (`cpu`/`disk`/`sleep`) against process `pid`, attributed to the
+/// current span + operation path. No-op (closure-free, allocation-free)
+/// when profiling is disabled.
+#[inline]
+pub fn charge(pid: u64, kind: &'static str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    charge_slow(pid, kind, ns);
+}
+
+fn charge_slow(pid: u64, kind: &'static str, ns: u64) {
+    let mut path = String::from(ROOT);
+    for seg in trace::span_segments() {
+        path.push(';');
+        path.push_str(&seg);
+    }
+    OP_STACK.with(|s| {
+        for op in s.borrow().iter() {
+            path.push(';');
+            path.push_str(op);
+        }
+    });
+    path.push(';');
+    path.push_str(kind);
+    let lane = trace::current_lane();
+    let mut st = lock_state();
+    st.total_ns += ns;
+    let agg = st.nodes.entry(path).or_default();
+    agg.ns += ns;
+    agg.count += 1;
+    *st.by_pid.entry(pid).or_insert(0) += ns;
+    *st.by_lane.entry(lane).or_insert(0) += ns;
+    *st.by_kind.entry(kind).or_insert(0) += ns;
+}
+
+/// Pushes a named operation frame (a kernel syscall) onto this thread's
+/// attribution stack; the guard pops it on drop. Free when disabled.
+#[inline]
+pub fn op_scope(name: &'static str) -> OpGuard {
+    if !enabled() {
+        return OpGuard { pushed: false };
+    }
+    OP_STACK.with(|s| s.borrow_mut().push(name));
+    OpGuard { pushed: true }
+}
+
+/// Guard returned by [`op_scope`]; pops its frame when dropped.
+pub struct OpGuard {
+    pushed: bool,
+}
+
+impl Drop for OpGuard {
+    fn drop(&mut self) {
+        if self.pushed {
+            OP_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Snapshot of the accumulated attribution tree.
+pub fn snapshot() -> ProfileSnapshot {
+    let st = lock_state();
+    ProfileSnapshot {
+        total_ns: st.total_ns,
+        nodes: st.nodes.clone(),
+        by_pid: st.by_pid.clone(),
+        by_lane: st.by_lane.clone(),
+        by_kind: st
+            .by_kind
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect(),
+    }
+}
+
+fn capture_lock() -> &'static Mutex<()> {
+    static CAPTURE: OnceLock<Mutex<()>> = OnceLock::new();
+    CAPTURE.get_or_init(|| Mutex::new(()))
+}
+
+/// Exclusive profiling session: serialises concurrent users (tests)
+/// behind one lock, resets state, enables profiling, and disables it
+/// when the guard drops (panic-safe). Call [`snapshot`] before dropping.
+pub fn capture() -> CaptureGuard {
+    let lock = match capture_lock().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *lock_state() = ProfilerState::default();
+    ENABLED.store(true, Ordering::Relaxed);
+    CaptureGuard { _lock: lock }
+}
+
+/// Guard returned by [`capture`]; ends the session on drop.
+pub struct CaptureGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// An immutable where-did-virtual-time-go tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// Sum of every charge, in virtual nanoseconds.
+    pub total_ns: u64,
+    /// Leaf aggregates keyed by `;`-joined attribution path.
+    pub nodes: BTreeMap<String, NodeAgg>,
+    /// Virtual nanoseconds charged per simulated process id.
+    pub by_pid: BTreeMap<u64, u64>,
+    /// Virtual nanoseconds charged per trace lane.
+    pub by_lane: BTreeMap<u64, u64>,
+    /// Virtual nanoseconds per charge kind (`cpu`/`disk`/`sleep`).
+    pub by_kind: BTreeMap<String, u64>,
+}
+
+impl ProfileSnapshot {
+    /// Folded-stack flamegraph export: one `path count` line per leaf,
+    /// counts in virtual nanoseconds, sorted by path (deterministic).
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for (path, agg) in &self.nodes {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&agg.ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// FNV-1a fingerprint over the leaf paths, their charges, and the
+    /// per-pid totals. Lanes are excluded: lane numbering depends on
+    /// allocation order across the whole process, which other subsystems
+    /// influence; everything folded here is virtual-time deterministic.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |v: u64| h = (h ^ v).wrapping_mul(0x100_0000_01b3);
+        for (path, agg) in &self.nodes {
+            for b in path.bytes() {
+                fold(b as u64);
+            }
+            fold(agg.ns);
+            fold(agg.count);
+        }
+        for (&pid, &ns) in &self.by_pid {
+            fold(pid);
+            fold(ns);
+        }
+        h
+    }
+
+    /// Renders an indented tree with subtree totals, percentages of the
+    /// grand total, and leaf charge counts. Children sort by descending
+    /// subtree time (path name breaks ties), so the expensive branch is
+    /// always the first line under its parent.
+    pub fn render_tree(&self) -> String {
+        #[derive(Default)]
+        struct Tree {
+            children: BTreeMap<String, Tree>,
+            self_ns: u64,
+            self_count: u64,
+        }
+        impl Tree {
+            fn subtree_ns(&self) -> u64 {
+                self.self_ns + self.children.values().map(Tree::subtree_ns).sum::<u64>()
+            }
+        }
+        let mut root = Tree::default();
+        for (path, agg) in &self.nodes {
+            let mut node = &mut root;
+            for seg in path.split(';') {
+                node = node.children.entry(seg.to_string()).or_default();
+            }
+            node.self_ns += agg.ns;
+            node.self_count += agg.count;
+        }
+        fn render(node: &Tree, name: &str, depth: usize, total: u64, out: &mut String) {
+            let ns = node.subtree_ns();
+            let pct = if total > 0 {
+                ns as f64 * 100.0 / total as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:indent$}{name:<28} {ns:>14} ns {pct:>6.2}%",
+                "",
+                indent = depth * 2
+            ));
+            if node.self_count > 0 {
+                out.push_str(&format!("  ({} charges)", node.self_count));
+            }
+            out.push('\n');
+            let mut kids: Vec<(&String, &Tree)> = node.children.iter().collect();
+            kids.sort_by(|a, b| b.1.subtree_ns().cmp(&a.1.subtree_ns()).then(a.0.cmp(b.0)));
+            for (kid_name, kid) in kids {
+                render(kid, kid_name, depth + 1, total, out);
+            }
+        }
+        let mut out = String::new();
+        let total = root.subtree_ns();
+        let mut tops: Vec<(&String, &Tree)> = root.children.iter().collect();
+        tops.sort_by(|a, b| b.1.subtree_ns().cmp(&a.1.subtree_ns()).then(a.0.cmp(b.0)));
+        for (name, node) in tops {
+            render(node, name, 0, total, &mut out);
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON object (hand-rolled, key-sorted,
+    /// deterministic): grand total, per-kind split, per-pid totals, and
+    /// the leaf list.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"total_ns\":{}", self.total_ns);
+        out.push_str(",\"by_kind\":{");
+        for (i, (kind, ns)) in self.by_kind.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{ns}", json_string(kind)));
+        }
+        out.push_str("},\"by_pid\":{");
+        for (i, (pid, ns)) in self.by_pid.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{pid}\":{ns}"));
+        }
+        out.push_str("},\"nodes\":[");
+        for (i, (path, agg)) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"path\":{},\"ns\":{},\"count\":{}}}",
+                json_string(path),
+                agg.ns,
+                agg.count
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_charge_is_inert() {
+        let guard = capture();
+        drop(guard); // definitely disabled now
+        charge(0, "cpu", 1_000_000);
+        let _op = op_scope("sys_read");
+        assert!(
+            OP_STACK.with(|s| s.borrow().is_empty()),
+            "disabled op_scope must not push"
+        );
+    }
+
+    #[test]
+    fn charges_aggregate_under_span_and_op_frames() {
+        let _guard = capture();
+        {
+            let _span = trace::span("plan", || "/f1".to_string());
+            let _op = op_scope("sys_read");
+            charge(3, "disk", 500);
+            charge(3, "disk", 700);
+        }
+        {
+            let _op = op_scope("sys_compute");
+            charge(4, "cpu", 250);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.total_ns, 1450);
+        let read = &snap.nodes["sim;plan:/f1;sys_read;disk"];
+        assert_eq!((read.ns, read.count), (1200, 2));
+        let compute = &snap.nodes["sim;sys_compute;cpu"];
+        assert_eq!((compute.ns, compute.count), (250, 1));
+        assert_eq!(snap.by_pid[&3], 1200);
+        assert_eq!(snap.by_pid[&4], 250);
+        assert_eq!(snap.by_kind["disk"], 1200);
+        assert_eq!(snap.by_kind["cpu"], 250);
+    }
+
+    #[test]
+    fn spans_push_when_only_profiler_is_enabled() {
+        let _guard = capture();
+        assert!(!trace::enabled(), "tracing itself stays off");
+        let _span = trace::span("tenant", || "7".to_string());
+        charge(0, "cpu", 10);
+        let snap = snapshot();
+        assert!(
+            snap.nodes.contains_key("sim;tenant:7;cpu"),
+            "span() must attribute for the profiler even with tracing off; got {:?}",
+            snap.nodes.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn folded_tree_json_and_digest_are_deterministic() {
+        let _guard = capture();
+        {
+            let _op = op_scope("sys_probe_batch");
+            charge(0, "disk", 4000);
+            charge(0, "cpu", 1000);
+        }
+        charge(1, "sleep", 2000);
+        let a = snapshot();
+        let folded = a.folded();
+        assert!(folded.contains("sim;sys_probe_batch;disk 4000\n"));
+        assert!(folded.contains("sim;sleep 2000\n"));
+
+        let tree = a.render_tree();
+        let disk_line = tree.lines().position(|l| l.contains("disk")).unwrap();
+        let cpu_line = tree.lines().position(|l| l.contains("cpu")).unwrap();
+        assert!(
+            disk_line < cpu_line,
+            "children sort by descending time:\n{tree}"
+        );
+        assert!(tree.contains("sim"), "root frame rendered:\n{tree}");
+
+        let json = a.to_json();
+        assert!(json.starts_with("{\"total_ns\":7000"));
+        assert!(json.contains("\"by_kind\":{\"cpu\":1000,\"disk\":4000,\"sleep\":2000}"));
+
+        // Re-run the identical session: identical snapshot and digest.
+        drop(_guard);
+        let _guard2 = capture();
+        {
+            let _op = op_scope("sys_probe_batch");
+            charge(0, "disk", 4000);
+            charge(0, "cpu", 1000);
+        }
+        charge(1, "sleep", 2000);
+        let b = snapshot();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.folded(), b.folded());
+        assert_ne!(a.digest(), ProfileSnapshot::default().digest());
+    }
+
+    #[test]
+    fn op_guard_restores_on_early_toggle() {
+        let _guard = capture();
+        let op = op_scope("sys_write");
+        disable();
+        drop(op); // pushed while enabled → must still pop
+        assert!(OP_STACK.with(|s| s.borrow().is_empty()));
+        enable();
+    }
+}

@@ -295,6 +295,10 @@ pub struct TraceMetrics {
     pub counts: BTreeMap<&'static str, u64>,
     /// Log2 histogram of [`TraceEvent::ProbeIssued`] latencies (ns).
     pub probe_latency: Log2Histogram,
+    /// Records evicted from the bounded ring before anyone drained them.
+    /// Non-zero means in-process consumers saw a truncated history (the
+    /// JSONL sink, when configured, still received every record).
+    pub records_dropped: u64,
 }
 
 /// Bounded ring of records: pushes evict the oldest once full.
@@ -306,6 +310,9 @@ struct Ring {
     head: usize,
     /// Total records ever pushed (so tests can observe eviction).
     pushed: u64,
+    /// Records overwritten before being drained — the silent-loss
+    /// counter surfaced as [`TraceMetrics::records_dropped`].
+    dropped: u64,
 }
 
 impl Ring {
@@ -315,6 +322,7 @@ impl Ring {
             capacity: capacity.max(1),
             head: 0,
             pushed: 0,
+            dropped: 0,
         }
     }
 
@@ -323,6 +331,7 @@ impl Ring {
         if self.buf.len() < self.capacity {
             self.buf.push(rec);
         } else {
+            self.dropped += 1;
             self.buf[self.head] = rec;
             self.head = (self.head + 1) % self.capacity;
         }
@@ -389,6 +398,18 @@ fn lane_id() -> u64 {
         }
         c.get()
     })
+}
+
+/// This thread's lane id (allocated lazily), for the profiler's per-lane
+/// attribution table.
+pub(crate) fn current_lane() -> u64 {
+    lane_id()
+}
+
+/// A copy of this thread's open span stack, root first, for the
+/// profiler's attribution path.
+pub(crate) fn span_segments() -> Vec<String> {
+    SPAN_STACK.with(|s| s.borrow().clone())
 }
 
 /// Reserves a fresh lane id without binding it to any thread. Services
@@ -526,18 +547,41 @@ pub fn enable_with_capacity(capacity: usize) {
 }
 
 /// Enables tracing and streams every record to `path` as JSONL, in
-/// addition to the ring buffer.
+/// addition to the ring buffer. Ring capacity honours the
+/// `GRAY_TRACE_CAP` environment override (see [`ring_capacity_from_env`]).
 pub fn enable_jsonl(path: &str) -> io::Result<()> {
+    enable_jsonl_with_capacity(path, ring_capacity_from_env())
+}
+
+/// Like [`enable_jsonl`], with an explicit ring capacity.
+pub fn enable_jsonl_with_capacity(path: &str, capacity: usize) -> io::Result<()> {
     let file = File::create(path)?;
     let mut st = lock_state();
-    st.ring = Ring::new(DEFAULT_RING_CAPACITY);
+    st.ring = Ring::new(capacity);
     st.sink = Some(BufWriter::new(file));
     ENABLED.store(true, Ordering::Relaxed);
     Ok(())
 }
 
+/// The ring capacity requested by the `GRAY_TRACE_CAP` environment
+/// variable, or [`DEFAULT_RING_CAPACITY`] when unset or unparsable
+/// (a malformed value is reported, not silently zeroed).
+pub fn ring_capacity_from_env() -> usize {
+    match std::env::var("GRAY_TRACE_CAP") {
+        Ok(raw) if !raw.is_empty() => match raw.parse::<usize>() {
+            Ok(cap) => cap.max(1),
+            Err(_) => {
+                eprintln!("gray-trace: ignoring unparsable GRAY_TRACE_CAP={raw:?}");
+                DEFAULT_RING_CAPACITY
+            }
+        },
+        _ => DEFAULT_RING_CAPACITY,
+    }
+}
+
 /// Enables the JSONL sink if the `GRAY_TRACE` environment variable names
-/// a path. Returns the path when tracing was turned on.
+/// a path (ring capacity from `GRAY_TRACE_CAP`, when set). Returns the
+/// path when tracing was turned on.
 pub fn init_from_env() -> Option<String> {
     let path = std::env::var("GRAY_TRACE").ok()?;
     if path.is_empty() {
@@ -560,13 +604,24 @@ pub fn flush() {
     }
 }
 
-/// Disables tracing, flushes and closes the sink, and clears the
-/// registered clock. Ring contents survive until [`drain`].
+/// Disables tracing, writes the accounting footer to the JSONL sink,
+/// flushes and closes it, and clears the registered clock. Ring contents
+/// survive until [`drain`].
+///
+/// The footer is one final JSON line,
+/// `{"type":"Footer","records":N,"ring_dropped":M,"ring_capacity":C}`,
+/// so a consumer can verify it received every record and see whether the
+/// in-process ring lost history.
 pub fn shutdown() {
     ENABLED.store(false, Ordering::Relaxed);
     CURRENT_WAVE.store(u64::MAX, Ordering::Relaxed);
     let mut st = lock_state();
+    let (records, dropped, capacity) = (st.seq, st.ring.dropped, st.ring.capacity);
     if let Some(mut sink) = st.sink.take() {
+        let _ = writeln!(
+            sink,
+            "{{\"type\":\"Footer\",\"records\":{records},\"ring_dropped\":{dropped},\"ring_capacity\":{capacity}}}"
+        );
         let _ = sink.flush();
     }
     st.clock = None;
@@ -590,10 +645,12 @@ pub fn clear_wave() {
 }
 
 /// Pushes a `kind:label` span segment onto this thread's span stack; the
-/// guard pops it on drop. When tracing is disabled nothing is pushed and
-/// the label closure is never called.
+/// guard pops it on drop. When neither tracing nor the virtual-time
+/// profiler is enabled nothing is pushed and the label closure is never
+/// called. (The profiler reads the same span stack for its attribution
+/// tree, so spans must open whenever either consumer is live.)
 pub fn span(kind: &'static str, label: impl FnOnce() -> String) -> SpanGuard {
-    if !enabled() {
+    if !enabled() && !crate::profile::enabled() {
         return SpanGuard { pushed: false };
     }
     SPAN_STACK.with(|s| s.borrow_mut().push(format!("{kind}:{}", label())));
@@ -625,9 +682,17 @@ pub fn records_pushed() -> u64 {
     lock_state().ring.pushed
 }
 
+/// Records evicted from the bounded ring before being drained.
+pub fn records_dropped() -> u64 {
+    lock_state().ring.dropped
+}
+
 /// Snapshot of the aggregated counters and latency histogram.
 pub fn metrics() -> TraceMetrics {
-    lock_state().metrics.clone()
+    let st = lock_state();
+    let mut m = st.metrics.clone();
+    m.records_dropped = st.ring.dropped;
+    m
 }
 
 /// Resets counters and histograms (records are untouched).
@@ -793,7 +858,7 @@ pub fn render_timeline(records: &[TraceRecord]) -> String {
 }
 
 /// Escapes `s` as a JSON string literal (with quotes).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -812,7 +877,7 @@ fn json_string(s: &str) -> String {
 }
 
 /// Formats an `f64` as valid JSON (non-finite values become 0).
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         let s = format!("{x}");
         // `{}` on a whole f64 prints no decimal point; keep it a JSON
@@ -861,6 +926,43 @@ mod tests {
         let seqs: Vec<u64> = ring.drain().into_iter().map(|r| r.seq).collect();
         assert_eq!(seqs, vec![3, 4, 5, 6], "oldest evicted, order kept");
         assert!(ring.drain().is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn ring_eviction_is_accounted() {
+        let guard = capture();
+        enable_with_capacity(4); // shrink the session's ring
+        let lane = guard.lane();
+        for i in 0..7u64 {
+            emit_with_at(Nanos(i), || TraceEvent::ProbeIssued {
+                offset: i,
+                latency_ns: 1,
+            });
+        }
+        let m = metrics();
+        assert!(
+            m.records_dropped >= 3,
+            "7 pushes into a 4-slot ring must drop >= 3, saw {}",
+            m.records_dropped
+        );
+        assert_eq!(records_dropped(), m.records_dropped);
+        let mine = drain().into_iter().filter(|r| r.lane == lane).count();
+        assert!(mine <= 4, "ring holds at most its capacity");
+    }
+
+    #[test]
+    fn env_cap_parses_and_falls_back() {
+        // Serialise with other capture users; env is process-global.
+        let _guard = capture();
+        std::env::remove_var("GRAY_TRACE_CAP");
+        assert_eq!(ring_capacity_from_env(), DEFAULT_RING_CAPACITY);
+        std::env::set_var("GRAY_TRACE_CAP", "128");
+        assert_eq!(ring_capacity_from_env(), 128);
+        std::env::set_var("GRAY_TRACE_CAP", "0");
+        assert_eq!(ring_capacity_from_env(), 1, "zero clamps to one slot");
+        std::env::set_var("GRAY_TRACE_CAP", "not-a-number");
+        assert_eq!(ring_capacity_from_env(), DEFAULT_RING_CAPACITY);
+        std::env::remove_var("GRAY_TRACE_CAP");
     }
 
     #[test]
@@ -930,6 +1032,35 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].lane, tenant, "scoped record on the tenant lane");
         assert_eq!(recs[1].lane, thread_lane, "lane restored after drop");
+    }
+
+    #[test]
+    fn jsonl_footer_reports_drop_accounting() {
+        let _guard = capture();
+        let path =
+            std::env::temp_dir().join(format!("gray_trace_footer_{}.jsonl", std::process::id()));
+        let path_s = path.to_string_lossy().to_string();
+        enable_jsonl_with_capacity(&path_s, 2).unwrap();
+        for i in 0..5u64 {
+            emit_with_at(Nanos(i), || TraceEvent::ProbeIssued {
+                offset: i,
+                latency_ns: 1,
+            });
+        }
+        shutdown();
+        let text = std::fs::read_to_string(&path_s).unwrap();
+        let _ = std::fs::remove_file(&path_s);
+        assert!(
+            text.lines().count() >= 6,
+            "sink keeps every record plus the footer"
+        );
+        let last = text.lines().last().unwrap();
+        assert!(
+            last.starts_with("{\"type\":\"Footer\""),
+            "footer line: {last}"
+        );
+        assert!(last.contains("\"ring_dropped\":3"), "footer line: {last}");
+        assert!(last.contains("\"ring_capacity\":2"), "footer line: {last}");
     }
 
     #[test]
